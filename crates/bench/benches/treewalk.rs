@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the tree walk across accuracy settings and
+//! MAC flavours — the host-side analogue of the paper's Δacc sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gothic::galaxy::plummer_model;
+use gothic::octree::{build_tree, calc_node, walk_tree, BuildConfig, Mac, Octree, WalkConfig};
+use std::hint::black_box;
+
+fn fixture(n: usize) -> (gothic::nbody::ParticleSet, Octree) {
+    let mut ps = plummer_model(n, 100.0, 1.0, 42);
+    let mut tree = build_tree(&mut ps, &BuildConfig::default());
+    calc_node(&mut tree, &ps.pos, &ps.mass);
+    (ps, tree)
+}
+
+fn bench_walk_vs_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_vs_delta_acc");
+    group.sample_size(10);
+    let n = 8192;
+    let (ps, tree) = fixture(n);
+    let active: Vec<u32> = (0..n as u32).collect();
+    let a_old = vec![1.0f32; n];
+    for exp in [1i32, 6, 9, 14] {
+        let cfg = WalkConfig {
+            mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            eps2: 1e-4,
+            ..WalkConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(format!("2^-{exp}")), &exp, |b, _| {
+            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_mac_flavours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_mac_flavours");
+    group.sample_size(10);
+    let n = 8192;
+    let (ps, tree) = fixture(n);
+    let active: Vec<u32> = (0..n as u32).collect();
+    let a_old = vec![1.0f32; n];
+    for (label, mac) in [
+        ("opening_angle_0.5", Mac::OpeningAngle { theta: 0.5 }),
+        ("acceleration_2^-9", Mac::fiducial()),
+    ] {
+        let cfg = WalkConfig { mac, eps2: 1e-4, ..WalkConfig::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_list_capacity(c: &mut Criterion) {
+    // The interaction-list capacity is GOTHIC's arithmetic-intensity
+    // lever (§1): larger lists amortise traversal overhead.
+    let mut group = c.benchmark_group("walk_list_capacity");
+    group.sample_size(10);
+    let n = 8192;
+    let (ps, tree) = fixture(n);
+    let active: Vec<u32> = (0..n as u32).collect();
+    let a_old = vec![1.0f32; n];
+    for cap in [32usize, 256, 1024] {
+        let cfg = WalkConfig { mac: Mac::fiducial(), eps2: 1e-4, list_cap: cap, ..WalkConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_vs_accuracy,
+    bench_walk_mac_flavours,
+    bench_walk_list_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 2: speed-up of Tesla V100 in the Pascal mode relative to (a)
+//! Tesla V100 in the Volta mode and (b) Tesla P100, as a function of
+//! Δacc.
+//!
+//! Paper reference: the Pascal mode is 1.1–1.2× faster than the Volta
+//! mode across the whole sweep; V100 is 1.4–2.2× faster than P100, with
+//! the ratio exceeding 2 for Δacc ≲ 10⁻³ (i.e. the high-accuracy side)
+//! and exceeding the 1.5× theoretical-peak ratio there.
+
+use bench::{
+    price_paper_scale,
+    default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
+    BenchScale,
+};
+use gothic::gpu_model::{ExecMode, GpuArch};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figure_header("Figure 2 — speed-up of V100 (Pascal mode)", &scale);
+
+    let v100 = GpuArch::tesla_v100();
+    let p100 = GpuArch::tesla_p100();
+    let peak_ratio = v100.peak_sp_tflops() / p100.peak_sp_tflops();
+
+    println!(
+        "{:>8}  {:>26}  {:>22}",
+        "dacc", "vs V100 (compute_70)", "vs Tesla P100"
+    );
+    let mut max_p100 = 0.0f64;
+    let mut min_p100 = f64::INFINITY;
+    let mut mode_band = (f64::INFINITY, 0.0f64);
+    for dacc in delta_acc_sweep() {
+        let run = measure(m31_particles(scale.n), dacc, &scale, None);
+        let t_pm = price_paper_scale(&run, &v100, ExecMode::PascalMode, default_barrier()).total_seconds();
+        let t_vm = price_paper_scale(&run, &v100, ExecMode::VoltaMode, default_barrier()).total_seconds();
+        let t_p100 = price_paper_scale(&run, &p100, ExecMode::PascalMode, default_barrier()).total_seconds();
+        let s_mode = t_vm / t_pm;
+        let s_p100 = t_p100 / t_pm;
+        println!("{:>8}  {:>26.3}  {:>22.3}", fmt_dacc(dacc), s_mode, s_p100);
+        max_p100 = max_p100.max(s_p100);
+        min_p100 = min_p100.min(s_p100);
+        mode_band = (mode_band.0.min(s_mode), mode_band.1.max(s_mode));
+    }
+
+    println!();
+    println!("# Paper: mode speed-up band 1.1–1.2; P100 speed-up band 1.4–2.2;");
+    println!("#        peak-performance ratio = {peak_ratio:.2} (must be exceeded at tight dacc)");
+    println!(
+        "# Measured: mode band {:.2}-{:.2}; P100 band {:.2}-{:.2}; exceeds peak ratio: {}",
+        mode_band.0,
+        mode_band.1,
+        min_p100,
+        max_p100,
+        max_p100 > peak_ratio
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 5: per-function speed-up of the Pascal mode relative to the
+//! Volta mode on Tesla V100, as a function of Δacc.
+//!
+//! Paper reference: every function is at least as fast in the Pascal
+//! mode; walkTree gains ~15% (growing toward loose accuracy), calcNode
+//! ~23%, makeTree a smaller amount (its radix sort needs few intra-warp
+//! syncs), and orbit integration shows *no* difference (it has no
+//! intra-warp synchronization at all).
+
+use bench::{
+    price_paper_scale,
+    default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
+    BenchScale,
+};
+use gothic::gpu_model::{ExecMode, GpuArch};
+use gothic::Function;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figure_header("Figure 5 — Pascal-mode speed-up per function", &scale);
+    let v100 = GpuArch::tesla_v100();
+
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
+        "dacc", "walk_tree", "calc_node", "make_tree", "pred/corr"
+    );
+    let mut walk_gains = Vec::new();
+    let mut calc_gains = Vec::new();
+    for dacc in delta_acc_sweep() {
+        let run = measure(m31_particles(scale.n), dacc, &scale, None);
+        let pm = price_paper_scale(&run, &v100, ExecMode::PascalMode, default_barrier());
+        let vm = price_paper_scale(&run, &v100, ExecMode::VoltaMode, default_barrier());
+        let gain = |f: Function| {
+            let p = pm.get(f).seconds;
+            let v = vm.get(f).seconds;
+            if p > 0.0 {
+                v / p
+            } else {
+                1.0
+            }
+        };
+        let g_walk = gain(Function::WalkTree);
+        let g_calc = gain(Function::CalcNode);
+        let g_make = gain(Function::MakeTree);
+        let g_int = (vm.predict.seconds + vm.correct.seconds)
+            / (pm.predict.seconds + pm.correct.seconds);
+        println!(
+            "{:>8}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
+            fmt_dacc(dacc),
+            g_walk,
+            g_calc,
+            g_make,
+            g_int
+        );
+        walk_gains.push(g_walk);
+        calc_gains.push(g_calc);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!("# Paper: walkTree ≈ 1.15, calcNode ≈ 1.23, pred/corr = 1.00 exactly.");
+    println!(
+        "# Measured means: walkTree {:.3}, calcNode {:.3}",
+        mean(&walk_gains),
+        mean(&calc_gains)
+    );
+    println!(
+        "# calcNode gain exceeds walkTree gain (paper ordering): {}",
+        mean(&calc_gains) > mean(&walk_gains)
+    );
+}

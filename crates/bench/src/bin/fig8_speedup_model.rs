@@ -1,0 +1,65 @@
+//! Figure 8: expected speed-up of Tesla V100 over Tesla P100 — the
+//! theoretical model of §4.2.
+//!
+//! Four series: the theoretical-peak-performance ratio (flat line), the
+//! measured-bandwidth ratio (flat line), the integer-hiding ratio
+//! `(int + fp)/max(int, fp)` from the walkTree instruction counts, and
+//! their product (the model's expected speed-up). The paper notes the
+//! model supports the observed 2.2× for Δacc ≲ 10⁻³ but fails to explain
+//! the decline at looser accuracy (the kernel leaves the compute-bound
+//! regime — which our timing model captures; compare with fig2).
+
+use bench::{
+    extrapolate_events, price_paper_scale, PAPER_N,
+    default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
+    BenchScale,
+};
+use gothic::gpu_model::{predict_speedup, ExecMode, GpuArch};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figure_header("Figure 8 — expected V100/P100 speed-up model", &scale);
+    let v100 = GpuArch::tesla_v100();
+    let p100 = GpuArch::tesla_p100();
+
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "dacc", "peak-ratio", "bw-ratio", "hiding", "expected", "timing-model"
+    );
+    let mut expected_tight = 0.0;
+    for dacc in delta_acc_sweep() {
+        let run = measure(m31_particles(scale.n), dacc, &scale, Some(6));
+        let ev = extrapolate_events(&run.mean_events, run.n as u64, PAPER_N);
+        let ops = ev.walk.to_ops(false);
+        let pred = predict_speedup(&v100, &p100, &ops);
+        // The "observed" counterpart from the full timing model
+        // (walkTree only, as §4.2 focuses on the gravity kernel).
+        let tv = price_paper_scale(&run, &v100, ExecMode::PascalMode, default_barrier())
+            .walk_tree
+            .seconds;
+        let tp = price_paper_scale(&run, &p100, ExecMode::PascalMode, default_barrier())
+            .walk_tree
+            .seconds;
+        println!(
+            "{:>8}  {:>12.3}  {:>12.3}  {:>12.3}  {:>12.3}  {:>12.3}",
+            fmt_dacc(dacc),
+            pred.peak_ratio,
+            pred.bandwidth_ratio,
+            pred.hiding_ratio,
+            pred.expected,
+            tp / tv
+        );
+        if dacc <= 2.0f32.powi(-10) {
+            expected_tight = pred.expected;
+        }
+    }
+
+    println!();
+    println!("# Paper: expected speed-up supports the observed 2.2x at dacc <~ 1e-3;");
+    println!(
+        "#   measured model expectation at the tight end: {expected_tight:.2} (should be >= 2)"
+    );
+    println!("# The timing-model column declines at loose accuracy (memory/latency");
+    println!("#   bound), which the pure instruction-count model cannot capture —");
+    println!("#   exactly the disagreement the paper discusses in §4.2.");
+}

@@ -1,0 +1,74 @@
+//! Roofline report: which resource bounds each representative function,
+//! per architecture, across the Δacc sweep.
+//!
+//! This makes the §4.2 discussion mechanical: the gravity kernel is
+//! compute-bound at tight accuracy (where the INT/FP overlap pays and the
+//! V100/P100 ratio exceeds the peak ratio) and slides toward
+//! memory/latency/overhead-bound at loose accuracy (where the ratio
+//! collapses — the disagreement between Fig. 8's model and Fig. 2's
+//! measurement).
+
+use bench::{delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure, BenchScale, PAPER_N};
+use gothic::gpu_model::{kernel_time, Bound, ExecMode, GpuArch, GridBarrier};
+
+fn bound_name(b: Bound) -> &'static str {
+    match b {
+        Bound::Compute => "compute",
+        Bound::Memory => "memory",
+        Bound::Latency => "latency",
+        Bound::Issue => "issue",
+        Bound::Overhead => "overhead",
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    figure_header("Roofline report — binding resource per function", &scale);
+    let archs = [GpuArch::tesla_v100(), GpuArch::tesla_p100(), GpuArch::tesla_k20x()];
+
+    println!(
+        "\n{:>8}  {:>24}  {:>24}  {:>24}",
+        "dacc", "walkTree V100/P100/K20X", "calcNode V100/P100/K20X", "predict V100/P100/K20X"
+    );
+    let mut v100_walk_bounds = Vec::new();
+    for dacc in delta_acc_sweep() {
+        let run = measure(m31_particles(scale.n), dacc, &scale, None);
+        let ev = run.mean_events.scaled_to(run.n as u64, PAPER_N);
+        let mut cols = Vec::new();
+        for ops in [
+            ev.walk.to_ops(false),
+            ev.calc.to_ops(false),
+            ev.predict.to_ops(false),
+        ] {
+            let mut cell = Vec::new();
+            for a in &archs {
+                let t = kernel_time(a, ExecMode::PascalMode, GridBarrier::LockFree, &ops);
+                cell.push(bound_name(t.limiting_factor()));
+            }
+            cols.push(cell.join("/"));
+        }
+        v100_walk_bounds.push({
+            let t = kernel_time(
+                &archs[0],
+                ExecMode::PascalMode,
+                GridBarrier::LockFree,
+                &ev.walk.to_ops(false),
+            );
+            t.limiting_factor()
+        });
+        println!(
+            "{:>8}  {:>24}  {:>24}  {:>24}",
+            fmt_dacc(dacc),
+            cols[0],
+            cols[1],
+            cols[2]
+        );
+    }
+
+    println!();
+    let tight_compute = *v100_walk_bounds.last().unwrap() == Bound::Compute;
+    println!(
+        "# V100 walkTree compute-bound at the tight end (the overlap regime of §4.2): {tight_compute}"
+    );
+    println!("# K20X's issue-bound walkTree is the Fig. 1 Kepler anomaly in mechanism form.");
+}

@@ -1,0 +1,55 @@
+//! Table 1: the measurement environments.
+//!
+//! The paper's table lists host CPU, GPU, compiler and CUDA versions of
+//! the two machines (POWER9 + V100; Xeon + P100 on TSUBAME3.0). The
+//! hosts are irrelevant to the modeled quantities (they only orchestrate
+//! kernel launches); this binary prints the GPU rows from the
+//! architecture descriptors, plus the derived quantities every other
+//! figure depends on.
+
+use gothic::gpu_model::{capacity, GpuArch, IntPipe};
+
+fn main() {
+    println!("# Table 1 — environments (GPU rows; hosts orchestrate only)");
+    println!(
+        "{:<26} {:>8} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "GPU", "SMs", "cores", "clock GHz", "peak TFlop/s", "mem GiB", "BW GB/s", "INT pipe"
+    );
+    for arch in GpuArch::paper_lineup() {
+        let pipe = match arch.int_pipe {
+            IntPipe::Unified => "unified",
+            IntPipe::Split { .. } => "split",
+        };
+        println!(
+            "{:<26} {:>8} {:>8} {:>10.3} {:>12.2} {:>10.0} {:>10.0} {:>10}",
+            arch.name,
+            arch.n_sm,
+            arch.n_sm * arch.fp32_per_sm,
+            arch.clock_ghz,
+            arch.peak_sp_tflops(),
+            arch.global_mem_gib,
+            arch.mem_bw_gbs,
+            pipe
+        );
+    }
+    println!();
+    println!("# Paper Table 1 reference: V100 (SXM2) 5120 cores @ 1.530 GHz, 16 GB HBM2;");
+    println!("#   P100 (SXM2) 3584 cores @ 1.480 GHz, 16 GB HBM2.");
+    println!();
+    let v100 = GpuArch::tesla_v100();
+    let p100 = GpuArch::tesla_p100();
+    println!("# Derived quantities used throughout the reproduction:");
+    println!(
+        "#   peak ratio V100/P100 = {:.2} (paper: 1.5)",
+        v100.peak_sp_tflops() / p100.peak_sp_tflops()
+    );
+    println!(
+        "#   measured-bandwidth ratio = {:.2}",
+        v100.mem_bw_gbs / p100.mem_bw_gbs
+    );
+    println!(
+        "#   capacity: V100 {} particles (paper 26 214 400), P100 {} (paper 31 457 280)",
+        capacity::max_particles(&v100),
+        capacity::max_particles(&p100)
+    );
+}

@@ -1,0 +1,332 @@
+//! # devsort — device-style LSD radix sort
+//!
+//! GOTHIC's tree construction spends most of its time in
+//! `cub::DeviceRadixSort::SortPairs`, sorting Morton keys with particle
+//! indices as payloads (§4.1 of the paper). This crate is the from-scratch
+//! substitute: a least-significant-digit radix sort over (key, payload)
+//! pairs with 8-bit digits, in both serial and rayon-parallel flavours.
+//!
+//! The parallel variant follows the classic GPU decomposition that CUB
+//! itself uses: per-chunk digit histograms, a global exclusive scan over
+//! the (digit, chunk) grid, then a stable scatter into disjoint output
+//! ranges — which is why the scatter can run fully in parallel without
+//! synchronization.
+
+mod scatter;
+
+pub use scatter::SyncWriteSlice;
+
+/// Keys usable by the radix sort: fixed-width unsigned integers.
+pub trait RadixKey: Copy + Ord + Send + Sync {
+    /// Number of 8-bit digit passes needed.
+    const PASSES: u32;
+    /// Extract the `pass`-th least significant byte.
+    fn digit(self, pass: u32) -> usize;
+}
+
+impl RadixKey for u32 {
+    const PASSES: u32 = 4;
+    #[inline(always)]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (8 * pass)) & 0xff) as usize
+    }
+}
+
+impl RadixKey for u64 {
+    const PASSES: u32 = 8;
+    #[inline(always)]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (8 * pass)) & 0xff) as usize
+    }
+}
+
+const RADIX: usize = 256;
+
+/// Sort `keys` and `values` together by key, ascending and stable.
+/// Serial reference implementation.
+// The Vec-based signature is kept deliberately so serial and parallel
+// entry points are drop-in interchangeable.
+#[allow(clippy::ptr_arg)]
+pub fn sort_pairs_serial<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
+    assert_eq!(keys.len(), values.len());
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut keys_alt = vec![keys[0]; n];
+    let mut vals_alt = vec![0u32; n];
+    let mut flipped = false;
+    for pass in 0..K::PASSES {
+        let (ksrc, kdst, vsrc, vdst) = if !flipped {
+            (&keys[..], &mut keys_alt[..], &values[..], &mut vals_alt[..])
+        } else {
+            (&keys_alt[..], &mut keys[..], &vals_alt[..], &mut values[..])
+        };
+        if sort_pass_serial(ksrc, kdst, vsrc, vdst, pass) {
+            flipped = !flipped;
+        }
+    }
+    if flipped {
+        keys.copy_from_slice(&keys_alt);
+        values.copy_from_slice(&vals_alt);
+    }
+}
+
+/// One serial counting pass; returns false (skipping the copy) when all
+/// keys share the same digit, a common case in high passes of Morton keys.
+fn sort_pass_serial<K: RadixKey>(
+    ksrc: &[K],
+    kdst: &mut [K],
+    vsrc: &[u32],
+    vdst: &mut [u32],
+    pass: u32,
+) -> bool {
+    let mut hist = [0usize; RADIX];
+    for &k in ksrc {
+        hist[k.digit(pass)] += 1;
+    }
+    if hist.contains(&ksrc.len()) {
+        return false; // single digit bucket: pass is the identity
+    }
+    // Exclusive prefix sum.
+    let mut sum = 0usize;
+    let mut offs = [0usize; RADIX];
+    for d in 0..RADIX {
+        offs[d] = sum;
+        sum += hist[d];
+    }
+    for i in 0..ksrc.len() {
+        let d = ksrc[i].digit(pass);
+        let dst = offs[d];
+        offs[d] += 1;
+        kdst[dst] = ksrc[i];
+        vdst[dst] = vsrc[i];
+    }
+    true
+}
+
+/// Chunk length targeted by the parallel sort. Each chunk is the unit of
+/// histogram/scatter parallelism (the analogue of a thread block in CUB).
+const PAR_CHUNK: usize = 1 << 15;
+
+/// Inputs below this size fall back to the serial sort (parallel overhead
+/// dominates).
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Sort `keys` and `values` together by key, ascending and stable,
+/// in parallel. Matches `sort_pairs_serial` exactly on any input.
+pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
+    use rayon::prelude::*;
+
+    assert_eq!(keys.len(), values.len());
+    let n = keys.len();
+    if n < PAR_THRESHOLD {
+        return sort_pairs_serial(keys, values);
+    }
+    let n_chunks = n.div_ceil(PAR_CHUNK);
+    let mut keys_alt = vec![keys[0]; n];
+    let mut vals_alt = vec![0u32; n];
+    let mut flipped = false;
+
+    for pass in 0..K::PASSES {
+        let (ksrc, kdst, vsrc, vdst): (&[K], &mut [K], &[u32], &mut [u32]) = if !flipped {
+            (&keys[..], &mut keys_alt[..], &values[..], &mut vals_alt[..])
+        } else {
+            (&keys_alt[..], &mut keys[..], &vals_alt[..], &mut values[..])
+        };
+
+        // 1. Per-chunk digit histograms.
+        let hists: Vec<[usize; RADIX]> = ksrc
+            .par_chunks(PAR_CHUNK)
+            .map(|chunk| {
+                let mut h = [0usize; RADIX];
+                for &k in chunk {
+                    h[k.digit(pass)] += 1;
+                }
+                h
+            })
+            .collect();
+
+        // Skip identity passes (all keys in one digit bucket).
+        let mut digit_totals = [0usize; RADIX];
+        for h in &hists {
+            for d in 0..RADIX {
+                digit_totals[d] += h[d];
+            }
+        }
+        if digit_totals.contains(&n) {
+            continue;
+        }
+
+        // 2. Exclusive scan over (digit, chunk): the first write position
+        //    of chunk c for digit d. Digit-major order preserves stability.
+        let mut chunk_offsets = vec![[0usize; RADIX]; n_chunks];
+        let mut running = 0usize;
+        for d in 0..RADIX {
+            for (c, h) in hists.iter().enumerate() {
+                chunk_offsets[c][d] = running;
+                running += h[d];
+            }
+        }
+
+        // 3. Stable parallel scatter into disjoint ranges.
+        let kout = SyncWriteSlice::new(kdst);
+        let vout = SyncWriteSlice::new(vdst);
+        ksrc.par_chunks(PAR_CHUNK)
+            .zip(vsrc.par_chunks(PAR_CHUNK))
+            .zip(chunk_offsets.into_par_iter())
+            .for_each(|((kchunk, vchunk), mut offs)| {
+                for (i, &k) in kchunk.iter().enumerate() {
+                    let d = k.digit(pass);
+                    let dst = offs[d];
+                    offs[d] += 1;
+                    // SAFETY: write ranges of distinct (chunk, digit) cells
+                    // are disjoint by construction of the exclusive scan.
+                    unsafe {
+                        kout.write(dst, k);
+                        vout.write(dst, vchunk[i]);
+                    }
+                }
+            });
+        flipped = !flipped;
+    }
+    if flipped {
+        keys.copy_from_slice(&keys_alt);
+        values.copy_from_slice(&vals_alt);
+    }
+}
+
+/// Sort keys only (payloads generated and discarded). Convenience wrapper.
+pub fn sort_keys<K: RadixKey>(keys: &mut Vec<K>) {
+    let mut vals: Vec<u32> = (0..keys.len() as u32).collect();
+    sort_pairs(keys, &mut vals);
+}
+
+/// Produce the permutation that sorts `keys` (i.e. `perm[i]` is the index
+/// of the element of `keys` that lands at output position `i`) without
+/// mutating the input.
+pub fn argsort<K: RadixKey>(keys: &[K]) -> Vec<u32> {
+    let mut k = keys.to_vec();
+    let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+    sort_pairs(&mut k, &mut perm);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn reference_sort<K: RadixKey>(keys: &[K], values: &[u32]) -> (Vec<K>, Vec<u32>) {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_by_key(|&i| (keys[i], i)); // stable by construction
+        (
+            idx.iter().map(|&i| keys[i]).collect(),
+            idx.iter().map(|&i| values[i]).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut k: Vec<u32> = vec![];
+        let mut v: Vec<u32> = vec![];
+        sort_pairs(&mut k, &mut v);
+        assert!(k.is_empty());
+        let mut k = vec![42u32];
+        let mut v = vec![7u32];
+        sort_pairs(&mut k, &mut v);
+        assert_eq!((k[0], v[0]), (42, 7));
+    }
+
+    #[test]
+    fn small_serial_matches_reference_u32() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 3, 17, 255, 256, 1000] {
+            let keys: Vec<u32> = (0..n).map(|_| rng.random()).collect();
+            let values: Vec<u32> = (0..n as u32).collect();
+            let (rk, rv) = reference_sort(&keys, &values);
+            let mut k = keys.clone();
+            let mut v = values.clone();
+            sort_pairs_serial(&mut k, &mut v);
+            assert_eq!(k, rk);
+            assert_eq!(v, rv);
+        }
+    }
+
+    #[test]
+    fn large_parallel_matches_reference_u64() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let keys: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        let values: Vec<u32> = (0..n as u32).collect();
+        let (rk, rv) = reference_sort(&keys, &values);
+        let mut k = keys.clone();
+        let mut v = values.clone();
+        sort_pairs(&mut k, &mut v);
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
+    }
+
+    #[test]
+    fn stability_with_heavy_duplicates() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        // Only 4 distinct keys: stability is fully observable through the
+        // payload ordering.
+        let keys: Vec<u32> = (0..n).map(|_| rng.random_range(0..4u32) * 1000).collect();
+        let values: Vec<u32> = (0..n as u32).collect();
+        let (rk, rv) = reference_sort(&keys, &values);
+        let mut k = keys.clone();
+        let mut v = values.clone();
+        sort_pairs(&mut k, &mut v);
+        assert_eq!(k, rk);
+        assert_eq!(v, rv, "parallel radix sort must be stable");
+    }
+
+    #[test]
+    fn morton_like_keys_with_common_high_bits() {
+        // Morton keys of a clustered distribution share their high bytes;
+        // the identity-pass skip must not corrupt ordering.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000;
+        let keys: Vec<u64> = (0..n)
+            .map(|_| 0x0BCD_0000_0000_0000u64 | rng.random_range(0..1u64 << 20))
+            .collect();
+        let values: Vec<u32> = (0..n as u32).collect();
+        let (rk, rv) = reference_sort(&keys, &values);
+        let mut k = keys.clone();
+        let mut v = values.clone();
+        sort_pairs(&mut k, &mut v);
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
+    }
+
+    #[test]
+    fn argsort_is_consistent_permutation() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let keys: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+        let perm = argsort(&keys);
+        let mut seen = vec![false; keys.len()];
+        for &p in &perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        for w in perm.windows(2) {
+            assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let n = 70_000u32;
+        let mut k: Vec<u32> = (0..n).collect();
+        let mut v: Vec<u32> = (0..n).collect();
+        sort_pairs(&mut k, &mut v);
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        let mut k: Vec<u32> = (0..n).rev().collect();
+        let mut v: Vec<u32> = (0..n).collect();
+        sort_pairs(&mut k, &mut v);
+        assert!(k.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v[0], n - 1);
+    }
+}

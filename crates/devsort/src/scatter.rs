@@ -1,0 +1,73 @@
+//! Shared-slice writer for provably-disjoint parallel scatters.
+
+use std::cell::UnsafeCell;
+
+/// A wrapper that lets multiple rayon workers write to disjoint indices of
+/// one slice. The radix-sort scatter guarantees disjointness through the
+/// exclusive scan over (chunk, digit) cells: every destination index is
+/// claimed by exactly one source element.
+pub struct SyncWriteSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: users uphold the disjoint-write contract documented on `write`.
+unsafe impl<T: Send + Sync> Sync for SyncWriteSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SyncWriteSlice<'_, T> {}
+
+impl<'a, T> SyncWriteSlice<'a, T> {
+    /// Wrap a mutable slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`.
+        let slice = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SyncWriteSlice { slice }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No two concurrent calls (across all threads) may target the same
+    /// `index`, and no call may race with a read of that element.
+    #[inline(always)]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.slice.len());
+        unsafe { *self.slice[index].get() = value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0u32; 10_000];
+        {
+            let w = SyncWriteSlice::new(&mut data);
+            (0..10_000u32).into_par_iter().for_each(|i| unsafe {
+                w.write(i as usize, i * 2);
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn len_reports_slice_length() {
+        let mut data = vec![0u8; 5];
+        let w = SyncWriteSlice::new(&mut data);
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+    }
+}

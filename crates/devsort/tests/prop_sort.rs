@@ -1,0 +1,96 @@
+//! Property-based tests for the radix sort against the standard-library
+//! stable sort, over arbitrary key distributions.
+
+use devsort::{argsort, sort_pairs, sort_pairs_serial};
+use proptest::prelude::*;
+
+fn reference(keys: &[u64], vals: &[u32]) -> (Vec<u64>, Vec<u32>) {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| (keys[i], i));
+    (
+        idx.iter().map(|&i| keys[i]).collect(),
+        idx.iter().map(|&i| vals[i]).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel and serial sorts both match the stable reference on
+    /// arbitrary u64 keys.
+    #[test]
+    fn matches_stable_reference(keys in prop::collection::vec(any::<u64>(), 0..3000)) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (rk, rv) = reference(&keys, &vals);
+
+        let mut k = keys.clone();
+        let mut v = vals.clone();
+        sort_pairs(&mut k, &mut v);
+        prop_assert_eq!(&k, &rk);
+        prop_assert_eq!(&v, &rv);
+
+        let mut k = keys.clone();
+        let mut v = vals.clone();
+        sort_pairs_serial(&mut k, &mut v);
+        prop_assert_eq!(&k, &rk);
+        prop_assert_eq!(&v, &rv);
+    }
+
+    /// Low-entropy keys (heavy duplication — the stability stress case).
+    #[test]
+    fn stable_under_heavy_duplication(
+        keys in prop::collection::vec(0u64..8, 0..2000),
+    ) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (rk, rv) = reference(&keys, &vals);
+        let mut k = keys.clone();
+        let mut v = vals.clone();
+        sort_pairs(&mut k, &mut v);
+        prop_assert_eq!(k, rk);
+        prop_assert_eq!(v, rv);
+    }
+
+    /// Morton-like keys: clustered values sharing high bytes, exercising
+    /// the identity-pass skip.
+    #[test]
+    fn clustered_prefix_keys(
+        prefix in 0u64..8,
+        lows in prop::collection::vec(0u64..(1 << 18), 0..2000),
+    ) {
+        let keys: Vec<u64> = lows.iter().map(|&l| (prefix << 50) | l).collect();
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (rk, rv) = reference(&keys, &vals);
+        let mut k = keys.clone();
+        let mut v = vals.clone();
+        sort_pairs(&mut k, &mut v);
+        prop_assert_eq!(k, rk);
+        prop_assert_eq!(v, rv);
+    }
+
+    /// argsort always returns a valid permutation that sorts the input.
+    #[test]
+    fn argsort_is_a_sorting_permutation(keys in prop::collection::vec(any::<u32>(), 0..2000)) {
+        let perm = argsort(&keys);
+        prop_assert_eq!(perm.len(), keys.len());
+        let mut seen = vec![false; keys.len()];
+        for &p in &perm {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        for w in perm.windows(2) {
+            prop_assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+    }
+
+    /// Sorting is idempotent.
+    #[test]
+    fn idempotent(keys in prop::collection::vec(any::<u64>(), 0..1500)) {
+        let mut k = keys;
+        let mut v: Vec<u32> = (0..k.len() as u32).collect();
+        sort_pairs(&mut k, &mut v);
+        let (k1, v1) = (k.clone(), v.clone());
+        sort_pairs(&mut k, &mut v);
+        prop_assert_eq!(k, k1);
+        prop_assert_eq!(v, v1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Analytic distribution functions — oracles for the numerical Eddington
+//! inversion.
+//!
+//! The Hernquist (1990) sphere has a closed-form ergodic DF, which makes
+//! it the standard cross-validation target for numerical initial-condition
+//! machinery: the tabulated `eddington_df` must agree with it pointwise,
+//! not just in integrated moments.
+
+use crate::profiles::Hernquist;
+
+/// The exact Hernquist distribution function
+/// (Hernquist 1990, Eq. 17), for an *untruncated* sphere of mass `M` and
+/// scale length `a` with G = 1:
+///
+/// ```text
+/// f(E) = M / (8√2 π³ a³ v_g³) · (1 − q²)^{-5/2} ·
+///        [3 asin(q) + q(1 − q²)^{1/2}(1 − 2q²)(8q⁴ − 8q² − 3)]
+/// ```
+///
+/// with `q = √(a E / (G M))` and `v_g = √(G M / a)`; `E` is the relative
+/// (positive, binding) energy.
+pub fn hernquist_df(mass: f64, a: f64, e: f64) -> f64 {
+    if e <= 0.0 {
+        return 0.0;
+    }
+    let vg2 = mass / a;
+    let q2 = (a * e / mass).min(1.0);
+    let q = q2.sqrt();
+    if q2 >= 1.0 {
+        // E beyond the central potential depth: unpopulated.
+        return f64::INFINITY;
+    }
+    let one_m_q2 = 1.0 - q2;
+    let term = 3.0 * q.asin()
+        + q * one_m_q2.sqrt() * (1.0 - 2.0 * q2) * (8.0 * q2 * q2 - 8.0 * q2 - 3.0);
+    mass / (8.0 * std::f64::consts::SQRT_2
+        * std::f64::consts::PI.powi(3)
+        * a.powi(3)
+        * vg2.powf(1.5))
+        * one_m_q2.powf(-2.5)
+        * term
+}
+
+/// The exact Hernquist differential energy distribution is not needed
+/// here; the DF itself is the oracle. This helper gives the relative
+/// potential ψ(r) = GM/(r + a) of the untruncated sphere.
+pub fn hernquist_psi(mass: f64, a: f64, r: f64) -> f64 {
+    mass / (r + a)
+}
+
+/// A generously truncated Hernquist sphere whose numerical DF should
+/// track the analytic one over the well-populated energy range.
+pub fn reference_hernquist(mass: f64, a: f64) -> Hernquist {
+    Hernquist::new(mass, a, 1000.0 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eddington::{eddington_df, CompositePotential};
+
+    #[test]
+    fn analytic_df_is_positive_and_increasing() {
+        let (m, a) = (100.0, 2.0);
+        let mut last = 0.0;
+        for k in 1..20 {
+            let e = m / a * k as f64 / 25.0; // up to 80% of ψ(0)
+            let f = hernquist_df(m, a, e);
+            assert!(f > 0.0, "f({e}) = {f}");
+            assert!(f > last, "f must grow with binding energy");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn analytic_df_vanishes_at_zero_energy() {
+        assert_eq!(hernquist_df(100.0, 2.0, 0.0), 0.0);
+        assert_eq!(hernquist_df(100.0, 2.0, -1.0), 0.0);
+    }
+
+    /// The core oracle test: the numerical Eddington inversion matches
+    /// the closed-form Hernquist DF pointwise over the energy range that
+    /// holds the bulk of the mass.
+    #[test]
+    fn numerical_eddington_matches_analytic_hernquist() {
+        let (m, a) = (100.0, 2.0);
+        let h = reference_hernquist(m, a);
+        let pot = CompositePotential::build(&[&h]);
+        let df = eddington_df(&h, &pot);
+
+        // Sanity: the numerical potential is the analytic one.
+        for r in [0.5, 2.0, 10.0] {
+            let got = pot.psi_at(r);
+            let want = hernquist_psi(m, a, r);
+            assert!(((got - want) / want).abs() < 2e-2, "ψ({r})");
+        }
+
+        // Energies between 5% and 70% of the central depth cover the
+        // half-mass region; compare the DFs there.
+        let psi0 = m / a;
+        let mut checked = 0;
+        for k in 1..14 {
+            let e = psi0 * (0.05 + 0.05 * k as f64);
+            let got = df.f_at(e);
+            let want = hernquist_df(m, a, e);
+            let rel = ((got - want) / want).abs();
+            assert!(
+                rel < 0.25,
+                "E = {e:.2} ({:.0}% of ψ₀): numerical {got:.3e} vs analytic {want:.3e} ({rel:.2})",
+                100.0 * e / psi0
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10);
+    }
+
+    /// Velocity moments: ⟨v²⟩(r) from the numerical DF agrees with the
+    /// analytic isotropic Jeans solution at the half-mass radius.
+    #[test]
+    fn velocity_moment_matches_jeans() {
+        use rand::prelude::*;
+        let (m, a) = (100.0, 2.0);
+        let h = reference_hernquist(m, a);
+        let pot = CompositePotential::build(&[&h]);
+        let df = eddington_df(&h, &pot);
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples = crate::eddington::sample_component(&h, &pot, &df, 6000, &mut rng);
+        // Kinetic energy check (K = GM²/12a for Hernquist).
+        let mp = m / samples.len() as f64;
+        let k: f64 = samples.iter().map(|(_, v)| 0.5 * mp * v.norm2() as f64).sum();
+        let k_analytic = m * m / (12.0 * a);
+        assert!(
+            ((k - k_analytic) / k_analytic).abs() < 0.05,
+            "K = {k} vs analytic {k_analytic}"
+        );
+    }
+}

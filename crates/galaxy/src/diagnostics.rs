@@ -1,0 +1,201 @@
+//! Structural diagnostics of sampled models: radial profiles of density
+//! and velocity dispersion, used to validate equilibrium realisations
+//! against their target profiles (the MAGI-style quality checks).
+
+use nbody::{ParticleSet, Vec3};
+
+/// One radial shell of a measured profile.
+#[derive(Clone, Copy, Debug)]
+pub struct ShellStats {
+    /// Shell mid radius.
+    pub r: f64,
+    /// Particles in the shell.
+    pub count: usize,
+    /// Mass density in the shell.
+    pub density: f64,
+    /// Radial velocity dispersion σ_r.
+    pub sigma_r: f64,
+    /// Tangential velocity dispersion σ_t (per one tangential dimension).
+    pub sigma_t: f64,
+    /// Mean radial velocity (≈ 0 in equilibrium).
+    pub v_r_mean: f64,
+}
+
+/// Measure spherically-averaged shell statistics on log-spaced shells
+/// between `r_min` and `r_max` (shells with < 8 particles are skipped).
+pub fn radial_profile(ps: &ParticleSet, r_min: f64, r_max: f64, n_shells: usize) -> Vec<ShellStats> {
+    assert!(r_min > 0.0 && r_max > r_min && n_shells > 0);
+    let log_lo = r_min.ln();
+    let log_hi = r_max.ln();
+    let mut shells: Vec<(Vec<f64>, Vec<f64>, f64)> =
+        (0..n_shells).map(|_| (Vec::new(), Vec::new(), 0.0)).collect();
+
+    for i in 0..ps.len() {
+        let p = ps.pos[i];
+        let r = p.norm() as f64;
+        if r < r_min || r >= r_max {
+            continue;
+        }
+        let k = (((r.ln() - log_lo) / (log_hi - log_lo)) * n_shells as f64) as usize;
+        let k = k.min(n_shells - 1);
+        let rhat = p * (1.0 / p.norm().max(1e-12));
+        let v = ps.vel[i];
+        let v_r = v.dot(rhat) as f64;
+        let v_t2 = (v.norm2() as f64 - v_r * v_r).max(0.0);
+        shells[k].0.push(v_r);
+        shells[k].1.push(v_t2);
+        shells[k].2 += ps.mass[i] as f64;
+    }
+
+    let mut out = Vec::new();
+    for (k, (v_rs, v_t2s, mass)) in shells.into_iter().enumerate() {
+        if v_rs.len() < 8 {
+            continue;
+        }
+        let n = v_rs.len() as f64;
+        let lo = (log_lo + (log_hi - log_lo) * k as f64 / n_shells as f64).exp();
+        let hi = (log_lo + (log_hi - log_lo) * (k + 1) as f64 / n_shells as f64).exp();
+        let vol = 4.0 / 3.0 * std::f64::consts::PI * (hi.powi(3) - lo.powi(3));
+        let mean_vr = v_rs.iter().sum::<f64>() / n;
+        let var_vr = v_rs.iter().map(|v| (v - mean_vr).powi(2)).sum::<f64>() / n;
+        let sigma_t2 = v_t2s.iter().sum::<f64>() / n / 2.0; // per dimension
+        out.push(ShellStats {
+            r: (lo * hi).sqrt(),
+            count: v_rs.len(),
+            density: mass / vol,
+            sigma_r: var_vr.sqrt(),
+            sigma_t: sigma_t2.sqrt(),
+            v_r_mean: mean_vr,
+        });
+    }
+    out
+}
+
+/// Anisotropy parameter β(r) = 1 − σ_t²/σ_r² per shell; 0 for an ergodic
+/// (isotropic) model.
+pub fn anisotropy(shell: &ShellStats) -> f64 {
+    if shell.sigma_r <= 0.0 {
+        return f64::NAN;
+    }
+    1.0 - (shell.sigma_t * shell.sigma_t) / (shell.sigma_r * shell.sigma_r)
+}
+
+/// Convenience: a cylindrically-binned rotation measurement — mean v_φ in
+/// radial annuli of the x–y plane (for disk validation).
+pub fn rotation_curve_measured(ps: &ParticleSet, r_max: f64, n_bins: usize) -> Vec<(f64, f64)> {
+    let mut sums = vec![(0.0f64, 0usize); n_bins];
+    for i in 0..ps.len() {
+        let p = ps.pos[i];
+        let rho = ((p.x * p.x + p.y * p.y) as f64).sqrt();
+        if rho <= 0.0 || rho >= r_max {
+            continue;
+        }
+        let k = ((rho / r_max) * n_bins as f64) as usize;
+        let v = ps.vel[i];
+        let vphi = (p.x * v.y - p.y * v.x) as f64 / rho;
+        sums[k.min(n_bins - 1)].0 += vphi;
+        sums[k.min(n_bins - 1)].1 += 1;
+    }
+    sums.into_iter()
+        .enumerate()
+        .filter(|(_, (_, c))| *c >= 8)
+        .map(|(k, (s, c))| ((k as f64 + 0.5) * r_max / n_bins as f64, s / c as f64))
+        .collect()
+}
+
+/// Centre-of-mass-frame check helper used by example binaries.
+pub fn com_speed(ps: &ParticleSet) -> f64 {
+    let mut m = 0.0f64;
+    let mut p = Vec3::ZERO;
+    for i in 0..ps.len() {
+        m += ps.mass[i] as f64;
+        p += ps.vel[i] * ps.mass[i];
+    }
+    if m > 0.0 {
+        (p.norm() as f64) / m
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::plummer_model;
+    use crate::profiles::{Plummer, SphericalProfile};
+
+    #[test]
+    fn measured_density_tracks_the_plummer_profile() {
+        let ps = plummer_model(20_000, 1.0, 1.0, 3);
+        let target = Plummer { mass: 1.0, a: 1.0, rt: 100.0 };
+        for s in radial_profile(&ps, 0.2, 3.0, 8) {
+            let want = target.density(s.r);
+            let rel = ((s.density - want) / want).abs();
+            assert!(rel < 0.25, "r = {:.2}: measured {} vs target {want}", s.r, s.density);
+        }
+    }
+
+    #[test]
+    fn plummer_is_isotropic_with_zero_radial_flow() {
+        let ps = plummer_model(20_000, 1.0, 1.0, 5);
+        for s in radial_profile(&ps, 0.3, 2.0, 6) {
+            let beta = anisotropy(&s);
+            assert!(beta.abs() < 0.15, "β({:.2}) = {beta}", s.r);
+            assert!(
+                s.v_r_mean.abs() < 0.15 * s.sigma_r,
+                "net radial flow at r = {:.2}",
+                s.r
+            );
+        }
+    }
+
+    #[test]
+    fn dispersion_declines_outward_for_plummer() {
+        // σ_r²(r) = GM/6 · 1/√(r²+a²): strictly decreasing.
+        let ps = plummer_model(30_000, 1.0, 1.0, 9);
+        let prof = radial_profile(&ps, 0.2, 4.0, 6);
+        assert!(prof.len() >= 4);
+        for w in prof.windows(2) {
+            assert!(
+                w[1].sigma_r < w[0].sigma_r * 1.08,
+                "σ_r must decline: {} then {}",
+                w[0].sigma_r,
+                w[1].sigma_r
+            );
+        }
+        // Central value close to the analytic σ_r(0) = √(GM/6a)·(1+0²)^{-1/4}.
+        let sigma0 = (1.0f64 / 6.0).sqrt();
+        let inner = &prof[0];
+        assert!(
+            (inner.sigma_r - sigma0).abs() / sigma0 < 0.2,
+            "σ_r({:.2}) = {} vs central {sigma0}",
+            inner.r,
+            inner.sigma_r
+        );
+    }
+
+    #[test]
+    fn m31_disk_rotation_curve_is_measurable() {
+        use crate::m31::M31Model;
+        let m31 = M31Model::paper_model();
+        let ps = m31.sample(16_384, 8);
+        let pot = m31.potential();
+        // The composite is halo-dominated; measure rotation only where
+        // disk particles dominate the v_φ signal — just check the annuli
+        // have net positive rotation well below v_c (halo dilution).
+        let curve = rotation_curve_measured(&ps, 20.0, 8);
+        assert!(!curve.is_empty());
+        let frac_rotating = curve
+            .iter()
+            .filter(|&&(r, v)| v > 0.0 && v < pot.v_circ(r))
+            .count() as f64
+            / curve.len() as f64;
+        assert!(frac_rotating > 0.7, "rotation signal too weak: {curve:?}");
+    }
+
+    #[test]
+    fn com_speed_is_tiny_after_zeroing() {
+        let ps = plummer_model(4096, 1.0, 1.0, 4);
+        assert!(com_speed(&ps) < 1e-5);
+    }
+}

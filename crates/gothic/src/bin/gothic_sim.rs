@@ -1,0 +1,215 @@
+//! `gothic_sim` — command-line driver for the GOTHIC pipeline.
+//!
+//! ```text
+//! gothic_sim [OPTIONS]
+//!
+//!   --model <plummer|hernquist|m31>   initial conditions      [m31]
+//!   --n <N>                           particle count          [16384]
+//!   --dacc <x>                        accuracy parameter Δacc [2^-9]
+//!   --steps <k>                       block steps to run      [64]
+//!   --arch <v100|p100|titanx|k20x|m2090>  cost model GPU      [v100]
+//!   --mode <pascal|volta>             execution mode (§2.1)   [pascal]
+//!   --eta <x>                         time-step accuracy      [0.5]
+//!   --eps <x>                         softening length (kpc)  [0.015625]
+//!   --snapshot <path>                 write a checkpoint at the end
+//!   --restart <path>                  resume from a checkpoint
+//!   --seed <s>                        sampling seed           [42]
+//!   --log-every <k>                   report cadence          [8]
+//! ```
+
+use gothic::galaxy::{plummer_model, M31Model};
+use gothic::gpu_model::{ExecMode, GpuArch};
+use gothic::nbody::units;
+use gothic::octree::Mac;
+use gothic::{Function, Gothic, Profile, RunConfig, Snapshot};
+
+#[derive(Debug)]
+struct Args {
+    model: String,
+    n: usize,
+    dacc: f32,
+    steps: u64,
+    arch: String,
+    mode: String,
+    eta: f32,
+    eps: f32,
+    snapshot: Option<String>,
+    restart: Option<String>,
+    seed: u64,
+    log_every: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        model: "m31".into(),
+        n: 16_384,
+        dacc: 2.0f32.powi(-9),
+        steps: 64,
+        arch: "v100".into(),
+        mode: "pascal".into(),
+        eta: 0.5,
+        eps: 0.015625,
+        snapshot: None,
+        restart: None,
+        seed: 42,
+        log_every: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--model" => a.model = val()?,
+            "--n" => a.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--dacc" => a.dacc = val()?.parse().map_err(|e| format!("--dacc: {e}"))?,
+            "--steps" => a.steps = val()?.parse().map_err(|e| format!("--steps: {e}"))?,
+            "--arch" => a.arch = val()?,
+            "--mode" => a.mode = val()?,
+            "--eta" => a.eta = val()?.parse().map_err(|e| format!("--eta: {e}"))?,
+            "--eps" => a.eps = val()?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--snapshot" => a.snapshot = Some(val()?),
+            "--restart" => a.restart = Some(val()?),
+            "--seed" => a.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--log-every" => a.log_every = val()?.parse().map_err(|e| format!("--log-every: {e}"))?,
+            "--help" | "-h" => {
+                println!("see the module docs at the top of gothic_sim.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn pick_arch(name: &str) -> Result<GpuArch, String> {
+    Ok(match name {
+        "v100" => GpuArch::tesla_v100(),
+        "p100" => GpuArch::tesla_p100(),
+        "titanx" => GpuArch::gtx_titan_x(),
+        "k20x" => GpuArch::tesla_k20x(),
+        "m2090" => GpuArch::tesla_m2090(),
+        other => return Err(format!("unknown arch {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gothic_sim: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = RunConfig {
+        mac: Mac::Acceleration { delta_acc: args.dacc },
+        eps: args.eps,
+        eta: args.eta,
+        arch: pick_arch(&args.arch).unwrap_or_else(|e| {
+            eprintln!("gothic_sim: {e}");
+            std::process::exit(2);
+        }),
+        mode: match args.mode.as_str() {
+            "pascal" => ExecMode::PascalMode,
+            "volta" => ExecMode::VoltaMode,
+            other => {
+                eprintln!("gothic_sim: unknown mode {other}");
+                std::process::exit(2);
+            }
+        },
+        ..RunConfig::default()
+    };
+
+    let mut sim = if let Some(path) = &args.restart {
+        let snap = Snapshot::load(path).unwrap_or_else(|e| {
+            eprintln!("gothic_sim: cannot restart from {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "restarted from {path}: N = {}, t = {:.3} ({} steps done)",
+            snap.particles.len(),
+            snap.time,
+            snap.step
+        );
+        snap.resume(cfg)
+    } else {
+        let particles = match args.model.as_str() {
+            "m31" => M31Model::paper_model().sample(args.n, args.seed),
+            "plummer" => plummer_model(args.n, 100.0, 1.0, args.seed),
+            "hernquist" => {
+                use gothic::galaxy::{eddington_df, sample_component, CompositePotential};
+                let h = gothic::galaxy::Hernquist::new(100.0, 1.0, 100.0);
+                let pot = CompositePotential::build(&[&h]);
+                let df = eddington_df(&h, &pot);
+                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+                let pairs = sample_component(&h, &pot, &df, args.n, &mut rng);
+                let mut ps = gothic::nbody::ParticleSet::with_capacity(args.n);
+                let m = (100.0 / args.n as f64) as f32;
+                for (p, v) in pairs {
+                    ps.push(p, v, m);
+                }
+                gothic::galaxy::zero_com(&mut ps);
+                ps
+            }
+            other => {
+                eprintln!("gothic_sim: unknown model {other}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "model = {}, N = {}, dacc = {:.3e}, arch = {} ({:?})",
+            args.model, args.n, args.dacc, cfg.arch.name, cfg.mode
+        );
+        Gothic::new(particles, cfg)
+    };
+
+    let e0 = sim.diagnostics();
+    println!(
+        "E₀ = {:.5e}, virial ratio = {:.3}",
+        e0.total_energy(),
+        gothic::nbody::energy::virial_ratio(&e0)
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>8} {:>13} {:>13} {:>9}",
+        "step", "t [Myr]", "active", "rebuilt", "model t/step", "interactions", "dE/E"
+    );
+
+    let mut total = Profile::default();
+    for k in 0..args.steps {
+        let r = sim.step();
+        total.add(&r.profile);
+        if (k + 1) % args.log_every == 0 || r.rebuilt && args.log_every <= 4 {
+            let e = sim.diagnostics();
+            println!(
+                "{:>6} {:>10.2} {:>8} {:>8} {:>11.3e} s {:>13} {:>9.2e}",
+                r.step,
+                r.time * units::time_unit_myr(),
+                r.n_active,
+                r.rebuilt,
+                r.profile.total_seconds(),
+                r.events.walk.interactions,
+                e.relative_energy_drift(&e0)
+            );
+        }
+    }
+
+    println!("\nmodeled {} breakdown per step:", sim.cfg.arch.name);
+    for f in Function::ALL {
+        let c = total.get(f);
+        println!(
+            "  {:<10} {:>12.3e} s ({:>5.1}%)",
+            f.name(),
+            c.seconds / args.steps as f64,
+            100.0 * c.seconds / total.total_seconds()
+        );
+    }
+    let e1 = sim.diagnostics();
+    println!("final relative energy drift: {:.3e}", e1.relative_energy_drift(&e0));
+
+    if let Some(path) = &args.snapshot {
+        Snapshot::capture(&sim).save(path).unwrap_or_else(|e| {
+            eprintln!("gothic_sim: cannot write snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("snapshot written to {path} (t = {:.4})", sim.time());
+    }
+}

@@ -1,0 +1,104 @@
+//! Run configuration for the GOTHIC pipeline.
+
+use gpu_model::{ExecMode, GpuArch, GridBarrier};
+use nbody::Real;
+use octree::Mac;
+
+/// When to rebuild the tree (§4.1: GOTHIC auto-tunes the interval to
+/// minimise gravity + construction time; the nvprof runs of Fig. 6 pin a
+/// fixed interval instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildPolicy {
+    /// Rebuild when the accumulated walk-time excess since the last build
+    /// exceeds the build cost (GOTHIC's auto-tuning).
+    Auto,
+    /// Rebuild every `n` block steps.
+    Fixed(u32),
+}
+
+/// Full pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Multipole acceptance criterion (the paper sweeps
+    /// `Mac::Acceleration { delta_acc }` from 2⁻¹ to 2⁻²⁰).
+    pub mac: Mac,
+    /// Plummer softening length ε.
+    pub eps: Real,
+    /// Time-step accuracy η (dt = η√(ε/|a|)).
+    pub eta: Real,
+    /// Largest block time step.
+    pub dt_max: Real,
+    /// Block-step refinement levels below `dt_max`.
+    pub max_depth: u32,
+    /// Octree leaf capacity.
+    pub leaf_cap: u32,
+    /// Interaction-list capacity per warp-group.
+    pub list_cap: usize,
+    /// Opening angle used to bootstrap the first force evaluation (the
+    /// acceleration MAC needs |a| from a previous step).
+    pub theta_bootstrap: Real,
+    /// GPU whose cost model prices the kernels (and drives auto-tuning).
+    pub arch: GpuArch,
+    /// Execution mode on Volta hardware (§2.1).
+    pub mode: ExecMode,
+    /// Grid-barrier implementation (Appendix A).
+    pub barrier: GridBarrier,
+    /// Tree rebuild policy.
+    pub rebuild: RebuildPolicy,
+}
+
+impl Default for RunConfig {
+    /// The paper's fiducial setup: Δacc = 2⁻⁹, V100 in the Pascal mode
+    /// (which §3 adopts as fiducial), lock-free grid barrier, auto-tuned
+    /// rebuilds.
+    fn default() -> Self {
+        RunConfig {
+            mac: Mac::fiducial(),
+            eps: 0.015625, // ~16 pc in simulation units, a typical galaxy-sim softening
+            eta: 0.5,
+            dt_max: 0.25,
+            max_depth: 24,
+            leaf_cap: 16,
+            list_cap: 256,
+            theta_bootstrap: 0.7,
+            arch: GpuArch::tesla_v100(),
+            mode: ExecMode::PascalMode,
+            barrier: GridBarrier::LockFree,
+            rebuild: RebuildPolicy::Auto,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Fiducial config with a given accuracy parameter Δacc.
+    pub fn with_delta_acc(delta_acc: Real) -> Self {
+        RunConfig { mac: Mac::Acceleration { delta_acc }, ..RunConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_fiducials() {
+        let c = RunConfig::default();
+        match c.mac {
+            Mac::Acceleration { delta_acc } => {
+                assert!((delta_acc - 2.0f32.powi(-9)).abs() < 1e-9)
+            }
+            _ => panic!("fiducial MAC must be the acceleration MAC"),
+        }
+        assert_eq!(c.mode, ExecMode::PascalMode);
+        assert_eq!(c.barrier, GridBarrier::LockFree);
+        assert_eq!(c.rebuild, RebuildPolicy::Auto);
+        assert_eq!(c.arch.name, "Tesla V100 (SXM2)");
+    }
+
+    #[test]
+    fn with_delta_acc_overrides_only_the_mac() {
+        let c = RunConfig::with_delta_acc(0.25);
+        assert_eq!(c.mac, Mac::Acceleration { delta_acc: 0.25 });
+        assert_eq!(c.leaf_cap, RunConfig::default().leaf_cap);
+    }
+}

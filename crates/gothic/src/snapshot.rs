@@ -1,0 +1,238 @@
+//! Snapshot I/O: checkpoint and restart.
+//!
+//! GOTHIC writes particle snapshots for analysis and restart; this module
+//! provides the equivalent for the Rust pipeline. The format is a simple
+//! little-endian binary layout (magic + version + counts + arrays) so
+//! snapshots are portable, diffable in size, and need no serialization
+//! framework.
+
+use nbody::{ParticleSet, Real, Vec3};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GOTHICSN";
+const VERSION: u32 = 1;
+
+/// A simulation checkpoint: particle state plus the simulation clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Simulation time (simulation units).
+    pub time: f64,
+    /// Completed block steps.
+    pub step: u64,
+    /// Particle state.
+    pub particles: ParticleSet,
+}
+
+impl Snapshot {
+    /// Capture the current state of a simulation.
+    pub fn capture(sim: &crate::Gothic) -> Snapshot {
+        Snapshot {
+            time: sim.time(),
+            step: sim.step_count,
+            particles: sim.ps.clone(),
+        }
+    }
+
+    /// Serialise to any writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&self.time.to_le_bytes())?;
+        w.write_all(&self.step.to_le_bytes())?;
+        let n = self.particles.len() as u64;
+        w.write_all(&n.to_le_bytes())?;
+        let ps = &self.particles;
+        write_vec3s(w, &ps.pos)?;
+        write_vec3s(w, &ps.vel)?;
+        write_reals(w, &ps.mass)?;
+        write_vec3s(w, &ps.acc)?;
+        write_reals(w, &ps.pot)?;
+        write_reals(w, &ps.acc_old)?;
+        for &id in &ps.id {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialise from any reader, validating magic, version and
+    /// internal invariants.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Snapshot> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a GOTHIC snapshot"));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported snapshot version {version}"),
+            ));
+        }
+        let time = f64::from_le_bytes(read_array(r)?);
+        let step = u64::from_le_bytes(read_array(r)?);
+        let n = u64::from_le_bytes(read_array(r)?) as usize;
+        // Refuse absurd sizes before allocating.
+        if n > 1 << 33 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible particle count"));
+        }
+        let pos = read_vec3s(r, n)?;
+        let vel = read_vec3s(r, n)?;
+        let mass = read_reals(r, n)?;
+        let acc = read_vec3s(r, n)?;
+        let pot = read_reals(r, n)?;
+        let acc_old = read_reals(r, n)?;
+        let mut id = Vec::with_capacity(n);
+        for _ in 0..n {
+            id.push(u32::from_le_bytes(read_array(r)?));
+        }
+        let particles = ParticleSet { pos, vel, mass, acc, pot, acc_old, id };
+        particles
+            .check_invariants()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(Snapshot { time, step, particles })
+    }
+
+    /// Write to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Read from a file path.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Snapshot> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Snapshot::read_from(&mut f)
+    }
+
+    /// Resume a simulation from this snapshot: rebuilds the tree,
+    /// re-bootstraps the block-step hierarchy from the stored
+    /// accelerations, and restores the simulation clock offset.
+    ///
+    /// Restart fidelity note: the block-step *phase* (which particles sat
+    /// at which sub-step boundary) is not stored — all particles restart
+    /// synchronised, as GOTHIC does at snapshot boundaries.
+    pub fn resume(&self, cfg: crate::RunConfig) -> crate::Gothic {
+        let mut sim = crate::Gothic::new(self.particles.clone(), cfg);
+        sim.set_clock(self.time, self.step);
+        sim
+    }
+}
+
+fn write_vec3s<W: Write>(w: &mut W, v: &[Vec3]) -> io::Result<()> {
+    for p in v {
+        w.write_all(&p.x.to_le_bytes())?;
+        w.write_all(&p.y.to_le_bytes())?;
+        w.write_all(&p.z.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_reals<W: Write>(w: &mut W, v: &[Real]) -> io::Result<()> {
+    for x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_array<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_vec3s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<Vec3>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = f32::from_le_bytes(read_array(r)?);
+        let y = f32::from_le_bytes(read_array(r)?);
+        let z = f32::from_le_bytes(read_array(r)?);
+        out.push(Vec3::new(x, y, z));
+    }
+    Ok(out)
+}
+
+fn read_reals<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<Real>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f32::from_le_bytes(read_array(r)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunConfig;
+    use galaxy::plummer_model;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gothic-snap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_exactly() {
+        let mut sim = crate::Gothic::new(plummer_model(512, 10.0, 1.0, 5), RunConfig::default());
+        sim.run(5);
+        let snap = Snapshot::capture(&sim);
+        let path = tmp("roundtrip");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(snap, back);
+        assert_eq!(back.particles.len(), 512);
+        assert!(back.time > 0.0);
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxx").unwrap();
+        let err = Snapshot::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let sim = crate::Gothic::new(plummer_model(128, 10.0, 1.0, 6), RunConfig::default());
+        let snap = Snapshot::capture(&sim);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(Snapshot::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn resume_continues_the_run() {
+        let mut sim = crate::Gothic::new(plummer_model(1024, 100.0, 1.0, 7), RunConfig::default());
+        sim.run(6);
+        let t_snap = sim.time();
+        let snap = Snapshot::capture(&sim);
+
+        let mut resumed = snap.resume(RunConfig::default());
+        assert_eq!(resumed.time(), t_snap);
+        assert_eq!(resumed.step_count, sim.step_count);
+        let r = resumed.step();
+        assert!(r.time > t_snap);
+        assert!(r.n_active > 0);
+        resumed.ps.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resumed_run_conserves_energy() {
+        let mut sim = crate::Gothic::new(plummer_model(1024, 100.0, 1.0, 8), RunConfig::default());
+        let e0 = sim.diagnostics();
+        sim.run(10);
+        let snap = Snapshot::capture(&sim);
+        let mut resumed = snap.resume(RunConfig::default());
+        resumed.run(10);
+        let drift = resumed.diagnostics().relative_energy_drift(&e0);
+        assert!(drift < 1e-2, "drift across the snapshot boundary: {drift}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Problem-size capacity model (§3 of the paper).
+//!
+//! GOTHIC's breadth-first traversal needs a tree-cell buffer *per SM*, so
+//! the maximum particle count is set by
+//!
+//! ```text
+//! N · bytes_per_particle + n_sm · buffer_per_sm ≤ global memory
+//! ```
+//!
+//! Both GPUs carry 16 GB of HBM2, but V100 has 80 SMs to P100's 56 —
+//! which is why P100 fits *more* particles (30·2²⁰) than V100 (25·2²⁰)
+//! despite being the smaller GPU, and why the paper remarks that a 32 GB
+//! V100 would overtake it.
+//!
+//! The two constants below are solved from the paper's two data points:
+//! `s·26 214 400 + 80·B = s·31 457 280 + 56·B = 16 GiB` gives
+//! `s ≈ 393 B/particle` (positions, velocities, accelerations, predicted
+//! state, keys, sort ping-pong and tree arrays all scale with N) and
+//! `B ≈ 82 MiB` of traversal buffer per SM.
+
+use crate::arch::GpuArch;
+
+/// Per-particle device footprint in bytes (all N-proportional arrays).
+pub const BYTES_PER_PARTICLE: f64 = 393.216;
+
+/// Breadth-first traversal buffer per SM in bytes.
+pub const BUFFER_PER_SM: f64 = 85.899e6;
+
+/// Maximum number of particles a GPU can hold.
+pub fn max_particles(arch: &GpuArch) -> u64 {
+    let total = arch.global_mem_gib * 1024.0 * 1024.0 * 1024.0;
+    let buffers = arch.n_sm as f64 * BUFFER_PER_SM;
+    if buffers >= total {
+        return 0;
+    }
+    ((total - buffers) / BYTES_PER_PARTICLE) as u64
+}
+
+/// Check whether a run of `n` particles fits.
+pub fn fits(arch: &GpuArch, n: u64) -> bool {
+    n <= max_particles(arch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_capacity_matches_paper() {
+        // §3: "Tesla V100 can execute N-body simulation with up to
+        // 25 × 2²⁰ = 26 214 400 particles".
+        let n = max_particles(&GpuArch::tesla_v100());
+        let paper = 25u64 << 20;
+        let err = (n as f64 - paper as f64).abs() / paper as f64;
+        assert!(err < 0.02, "V100 capacity {n} vs paper {paper}");
+    }
+
+    #[test]
+    fn p100_capacity_matches_paper() {
+        // §3: P100 handles 30 × 2²⁰ = 31 457 280 particles.
+        let n = max_particles(&GpuArch::tesla_p100());
+        let paper = 30u64 << 20;
+        let err = (n as f64 - paper as f64).abs() / paper as f64;
+        assert!(err < 0.02, "P100 capacity {n} vs paper {paper}");
+    }
+
+    #[test]
+    fn p100_fits_more_than_v100_despite_fewer_sms() {
+        // The per-SM buffer is the mechanism: more SMs ⇒ less room for
+        // particles at equal memory.
+        assert!(max_particles(&GpuArch::tesla_p100()) > max_particles(&GpuArch::tesla_v100()));
+    }
+
+    #[test]
+    fn a_32gb_v100_would_overtake_p100() {
+        // §3's closing remark.
+        let mut big = GpuArch::tesla_v100();
+        big.global_mem_gib = 32.0;
+        assert!(max_particles(&big) > max_particles(&GpuArch::tesla_p100()));
+    }
+
+    #[test]
+    fn fits_is_consistent_with_max() {
+        let v = GpuArch::tesla_v100();
+        let m = max_particles(&v);
+        assert!(fits(&v, m));
+        assert!(!fits(&v, m + 1));
+    }
+}

@@ -1,0 +1,366 @@
+//! Algorithm events → instruction mixes.
+//!
+//! The octree code records *what happened* (interactions evaluated, MAC
+//! tests performed, queue rounds executed…). This module translates those
+//! event counts into the thread-level instruction counts nvprof would
+//! report (Fig. 6), using a fixed per-event mix derived from the CUDA
+//! kernel structure of GOTHIC. The mixes are architecture-independent —
+//! the same PTX executes everywhere — while the *costs* are applied later
+//! by the timing model.
+//!
+//! Mix derivation (per lane, per event), documented so the constants are
+//! auditable:
+//!
+//! * **interaction** (one sink × one list entry, Eq. 1): `dx,dy,dz` (3
+//!   sub → add pipe), `r² = ε² + Σd·d` (3 FMA), `rsqrt` (1 SFU),
+//!   `rinv², m·rinv, m·rinv³` (3 mul), `acc += d·f` (3 FMA), `φ −= m·rinv`
+//!   (1 add); integer side: shared-memory address computation for the
+//!   source record, loop counter, compare+branch ≈ 5 INT.
+//! * **MAC evaluation** (one candidate node tested by one lane, Eq. 2):
+//!   distance to the group's pivot (3 add, 3 FMA), `d⁴` and the two sides
+//!   of the inequality (3 mul, 1 add), predicate + ballot contribution +
+//!   child-pointer unpacking ≈ 12 INT; one 32 B node record load.
+//! * **list push** (accepted node or leaf particle appended): index from
+//!   the warp prefix sum + shared store ≈ 4 INT.
+//! * **queue round** (one breadth-first iteration of a warp-group over ≤32
+//!   candidates): warp ballot + 5-step inclusive scan (5 shfl + 5 add) +
+//!   queue pointer bookkeeping ≈ 20 INT per lane; 7 `__syncwarp()` per
+//!   warp in the Volta mode (1 after the ballot, 5 inside the scan, 1 at
+//!   the queue update); children written back to the per-SM buffer.
+//! * **flush** (list capacity reached, gravity loop runs): loop prologue +
+//!   list reset ≈ 10 INT per lane, 2 `__syncwarp()` per warp.
+//! * **sink** (per particle processed): load own position + old
+//!   acceleration, store acceleration + potential.
+
+use crate::ops::OpCounts;
+
+/// Events recorded by one `walkTree` execution (gravity via tree
+/// traversal). All counts are *logical algorithm events*; see the module
+/// docs for the instruction mix each one expands to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalkEvents {
+    /// Warp-groups that walked the tree (≈ active particles / 32).
+    pub groups: u64,
+    /// Sink particles processed.
+    pub sinks: u64,
+    /// Sink × source gravity evaluations (Eq. 1 executions).
+    pub interactions: u64,
+    /// MAC tests (Eq. 2 evaluations), one per candidate node per group.
+    pub mac_evals: u64,
+    /// Entries appended to interaction lists (accepted nodes + leaf
+    /// particles).
+    pub list_pushes: u64,
+    /// Nodes opened (children pushed to the traversal queue).
+    pub opens: u64,
+    /// Breadth-first queue rounds (serialised per group).
+    pub queue_rounds: u64,
+    /// Interaction-list flushes (gravity inner loop executions).
+    pub flushes: u64,
+    /// Peak traversal-queue occupancy over all groups (entries), for the
+    /// per-SM buffer capacity model of §3.
+    pub peak_queue_len: u64,
+}
+
+impl WalkEvents {
+    /// Merge event counts from parallel group batches.
+    pub fn merge(&mut self, o: &WalkEvents) {
+        self.groups += o.groups;
+        self.sinks += o.sinks;
+        self.interactions += o.interactions;
+        self.mac_evals += o.mac_evals;
+        self.list_pushes += o.list_pushes;
+        self.opens += o.opens;
+        self.queue_rounds += o.queue_rounds;
+        self.flushes += o.flushes;
+        self.peak_queue_len = self.peak_queue_len.max(o.peak_queue_len);
+    }
+
+    /// Expand to instruction counts. `volta_mode` controls whether
+    /// `__syncwarp()` instructions are emitted (Volta mode) or compiled
+    /// away (Pascal mode, `-gencode arch=compute_60,code=sm_70`).
+    pub fn to_ops(&self, volta_mode: bool) -> OpCounts {
+        let mut c = OpCounts::default();
+        // Interactions (per lane).
+        c.fp_fma += 6 * self.interactions;
+        c.fp_mul += 3 * self.interactions;
+        c.fp_add += 4 * self.interactions;
+        c.fp_special += self.interactions;
+        c.int_ops += 8 * self.interactions;
+        // MAC evaluations.
+        c.fp_add += 4 * self.mac_evals;
+        c.fp_fma += 3 * self.mac_evals;
+        c.fp_mul += 3 * self.mac_evals;
+        c.int_ops += 12 * self.mac_evals;
+        c.ld_bytes += 32 * self.mac_evals;
+        // List pushes.
+        c.int_ops += 4 * self.list_pushes;
+        // Queue rounds: per-lane bookkeeping is 32 lanes × 20 INT.
+        c.int_ops += 32 * 20 * self.queue_rounds;
+        c.st_bytes += 64 * self.queue_rounds; // children appended to buffer
+        c.serial_rounds += self.queue_rounds;
+        if volta_mode {
+            c.sync_warp += 12 * self.queue_rounds;
+        }
+        // Flushes: besides the per-lane loop bookkeeping, each flush
+        // drains the FP pipeline before traversal resumes — a serialised
+        // round per flush (the arithmetic-intensity cost of small lists).
+        c.int_ops += 32 * 10 * self.flushes;
+        c.serial_rounds += self.flushes;
+        if volta_mode {
+            c.sync_warp += 2 * self.flushes;
+        }
+        // Per-sink I/O.
+        c.ld_bytes += 20 * self.sinks;
+        c.st_bytes += 16 * self.sinks;
+        c.int_ops += 10 * self.sinks;
+        // Persistent-kernel spin-up: per-SM traversal-buffer setup and
+        // block-step level chunking dominate the fixed cost of walkTree
+        // (the small-Ntot floor of Fig. 3).
+        c.launch_units = 8;
+        c
+    }
+}
+
+/// Events recorded by one `calcNode` execution (centre-of-mass / total
+/// mass / size of every tree node, bottom-up).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CalcNodeEvents {
+    /// Tree nodes summarised.
+    pub nodes: u64,
+    /// (node, child) accumulation pairs.
+    pub child_accumulations: u64,
+    /// Tree levels processed (each is a serialised dependent pass).
+    pub levels: u64,
+    /// Grid-wide synchronizations between levels (GOTHIC: 21 per step,
+    /// Appendix A).
+    pub grid_syncs: u64,
+}
+
+impl CalcNodeEvents {
+    pub fn merge(&mut self, o: &CalcNodeEvents) {
+        self.nodes += o.nodes;
+        self.child_accumulations += o.child_accumulations;
+        self.levels = self.levels.max(o.levels);
+        self.grid_syncs += o.grid_syncs;
+    }
+
+    /// Expand to instruction counts.
+    ///
+    /// Per child accumulation: mass-weighted position (3 FMA) + mass sum
+    /// (1 add) + bound update (3 add) + 4 INT (child index / validity).
+    /// Per node: normalisation (1 rcp ≈ SFU + 3 mul), size computation
+    /// (3 add, 1 mul, 1 SFU sqrt), warp reduction bookkeeping 15 INT and
+    /// two `__syncwarp()` round-trips in the Volta mode (one per shuffle
+    /// reduction pass at Tsub = 32); 32 B of
+    /// children records read (amortised), 32 B node summary written.
+    pub fn to_ops(&self, volta_mode: bool) -> OpCounts {
+        let mut c = OpCounts::default();
+        c.fp_fma += 3 * self.child_accumulations;
+        c.fp_add += 4 * self.child_accumulations;
+        c.int_ops += 4 * self.child_accumulations;
+        // Child summaries / leaf particle records are pointer-chasing
+        // gathers with poor sector utilisation: two passes (mass/COM then
+        // bounding radius) re-read each record, ≈ 96 B of DRAM sectors
+        // per accumulation.
+        c.ld_bytes += 96 * self.child_accumulations;
+
+        c.fp_mul += 4 * self.nodes;
+        c.fp_add += 3 * self.nodes;
+        c.fp_special += 2 * self.nodes;
+        c.int_ops += 15 * self.nodes;
+        c.ld_bytes += 32 * self.nodes;
+        c.st_bytes += 32 * self.nodes;
+        if volta_mode {
+            // Two syncwarp round-trips per node: one in the mass/COM
+            // reduction, one in the bounding-radius reduction.
+            c.sync_warp += 2 * self.nodes;
+        }
+        c.serial_rounds += self.levels;
+        c.sync_grid += self.grid_syncs;
+        c
+    }
+}
+
+/// Events recorded by one `makeTree` execution (Morton keys + radix sort +
+/// linked tree construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MakeTreeEvents {
+    /// Particles keyed and sorted.
+    pub particles: u64,
+    /// Radix-sort passes executed (8-bit digits over 63-bit keys).
+    pub sort_passes: u64,
+    /// Tree nodes created.
+    pub nodes_created: u64,
+}
+
+impl MakeTreeEvents {
+    pub fn merge(&mut self, o: &MakeTreeEvents) {
+        self.particles += o.particles;
+        self.sort_passes = self.sort_passes.max(o.sort_passes);
+        self.nodes_created += o.nodes_created;
+    }
+
+    /// Expand to instruction counts.
+    ///
+    /// Morton keying: coordinate normalisation (3 add + 3 mul + 3
+    /// float→int) then 63-bit interleave ≈ 48 INT. Radix sort, per
+    /// particle per pass: digit extraction, histogram update, scan share,
+    /// scatter address ≈ 22 INT and 24 B of traffic (12 B key+payload in
+    /// and out). Node linking: ≈ 30 INT per node. The sort dominates —
+    /// which is why the Pascal-mode gain of `makeTree` is modest (§4.1:
+    /// CUB's radix sort needs few intra-warp syncs); we charge 1 syncwarp
+    /// per 32 particles per pass (the tile-wide scan) in the Volta mode,
+    /// plus `activemask()`-guarded tiled sync ≈ 2 INT per particle.
+    pub fn to_ops(&self, volta_mode: bool) -> OpCounts {
+        let mut c = OpCounts::default();
+        c.fp_add += 3 * self.particles;
+        c.fp_mul += 3 * self.particles;
+        c.int_ops += (48 + 2) * self.particles;
+        c.ld_bytes += 16 * self.particles;
+        c.st_bytes += 8 * self.particles;
+
+        let pp = self.particles * self.sort_passes;
+        c.int_ops += 22 * pp;
+        c.ld_bytes += 12 * pp;
+        c.st_bytes += 12 * pp;
+        if volta_mode {
+            c.sync_warp += pp / 32;
+        }
+        c.serial_rounds += 4 * self.sort_passes; // histogram/scan/scatter phases
+
+        c.int_ops += 30 * self.nodes_created;
+        c.st_bytes += 32 * self.nodes_created;
+        c
+    }
+}
+
+/// Events recorded by the orbit-integration kernels (`predict` or
+/// `correct`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrateEvents {
+    /// Particles advanced.
+    pub particles: u64,
+}
+
+impl IntegrateEvents {
+    pub fn merge(&mut self, o: &IntegrateEvents) {
+        self.particles += o.particles;
+    }
+
+    /// Expand to instruction counts: `x += v·h + a·h²/2` and the velocity
+    /// update are 6 FMA + 3 mul + 3 add per particle, ~6 INT of indexing,
+    /// one particle record in and out. **No inner-warp synchronization in
+    /// either mode** — the paper observes identical `predict`/`correct`
+    /// performance in the Pascal and Volta modes (§4.1), which this mix
+    /// reproduces by construction.
+    pub fn to_ops(&self, _volta_mode: bool) -> OpCounts {
+        let mut c = OpCounts::default();
+        c.fp_fma += 6 * self.particles;
+        c.fp_mul += 3 * self.particles;
+        c.fp_add += 3 * self.particles;
+        c.int_ops += 6 * self.particles;
+        c.ld_bytes += 32 * self.particles;
+        c.st_bytes += 28 * self.particles;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk_events() -> WalkEvents {
+        WalkEvents {
+            groups: 100,
+            sinks: 3200,
+            interactions: 3200 * 500,
+            mac_evals: 60_000,
+            list_pushes: 50_000,
+            opens: 10_000,
+            queue_rounds: 2_000,
+            flushes: 320,
+            peak_queue_len: 900,
+        }
+    }
+
+    #[test]
+    fn walk_int_fp_ratio_in_hiding_regime() {
+        // §4.2: FP32 counts exceed INT counts, with INT large enough that
+        // hiding it buys a meaningful speed-up (hiding gain ≈ 1.4–1.6).
+        let ops = walk_events().to_ops(false);
+        assert!(ops.fp_core_ops() > ops.int_ops);
+        let gain = ops.serial_sum() as f64 / ops.overlap_max() as f64;
+        assert!((1.2..1.8).contains(&gain), "hiding gain {gain}");
+    }
+
+    #[test]
+    fn walk_rsqrt_roughly_tenfold_below_fma() {
+        // Fig. 6: special-function counts are "nearly tenfold smaller"
+        // than FMA counts.
+        let ops = walk_events().to_ops(false);
+        let ratio = ops.fp_fma as f64 / ops.fp_special as f64;
+        assert!((5.0..12.0).contains(&ratio), "FMA/rsqrt = {ratio}");
+    }
+
+    #[test]
+    fn pascal_mode_strips_syncwarp() {
+        let ev = walk_events();
+        let volta = ev.to_ops(true);
+        let pascal = ev.to_ops(false);
+        assert!(volta.sync_warp > 0);
+        assert_eq!(pascal.sync_warp, 0);
+        // Arithmetic is identical in both modes.
+        assert_eq!(volta.fp_core_ops(), pascal.fp_core_ops());
+        assert_eq!(volta.int_ops, pascal.int_ops);
+    }
+
+    #[test]
+    fn calcnode_is_sync_dense_relative_to_arithmetic() {
+        // §4.1: calcNode shows a *larger* Pascal-mode gain (≈23%) than
+        // walkTree (≈15%) because its reductions sync once per few
+        // arithmetic ops. Check the syncs-per-FP ratio ordering.
+        let w = walk_events().to_ops(true);
+        let c = CalcNodeEvents {
+            nodes: 40_000,
+            child_accumulations: 130_000,
+            levels: 20,
+            grid_syncs: 21,
+        }
+        .to_ops(true);
+        let walk_density = w.sync_warp as f64 / w.fp_core_ops() as f64;
+        let calc_density = c.sync_warp as f64 / c.fp_core_ops() as f64;
+        assert!(
+            calc_density > walk_density,
+            "calcNode {calc_density} vs walkTree {walk_density}"
+        );
+    }
+
+    #[test]
+    fn integrate_has_no_syncs_in_either_mode() {
+        let ev = IntegrateEvents { particles: 1000 };
+        assert_eq!(ev.to_ops(true).sync_warp, 0);
+        assert_eq!(ev.to_ops(true), ev.to_ops(false));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = walk_events();
+        let b = walk_events();
+        a.merge(&b);
+        assert_eq!(a.interactions, 2 * b.interactions);
+        assert_eq!(a.peak_queue_len, b.peak_queue_len); // max, not sum
+    }
+
+    #[test]
+    fn maketree_is_integer_dominated() {
+        // Tree construction is sort-dominated integer work; the paper's
+        // overlap argument applies to walkTree, not makeTree.
+        let ops = MakeTreeEvents {
+            particles: 100_000,
+            sort_passes: 8,
+            nodes_created: 30_000,
+        }
+        .to_ops(false);
+        assert!(ops.int_ops > 5 * ops.fp_core_ops());
+    }
+}

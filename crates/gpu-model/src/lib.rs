@@ -1,0 +1,31 @@
+//! # gpu-model — architecture descriptors and analytic performance model
+//!
+//! The hardware substitute for this reproduction (see DESIGN.md §2): the
+//! paper's analysis is itself an operation-count model — execution time
+//! follows `int + fp` on unified-pipe GPUs (Pascal and earlier) and
+//! `max(int, fp)` on split-pipe GPUs (Volta), bounded by measured memory
+//! bandwidth and latency. This crate implements that model:
+//!
+//! * [`arch`] — Tesla V100 / P100, GTX TITAN X, K20X, M2090 descriptors,
+//! * [`ops`] — nvprof-style instruction counters (`OpCounts`),
+//! * [`events`] — algorithm events → instruction mixes (Fig. 6 metrics),
+//! * [`timing`] — the roofline timing model with INT/FP overlap and
+//!   Volta-mode `__syncwarp()` costs,
+//! * [`occupancy`] — resident blocks/warps per SM (Appendix A),
+//! * [`capacity`] — maximum problem size from the per-SM traversal
+//!   buffers (§3),
+//! * [`predict`] — the Fig. 8 speed-up decomposition.
+
+pub mod arch;
+pub mod capacity;
+pub mod events;
+pub mod occupancy;
+pub mod ops;
+pub mod predict;
+pub mod timing;
+
+pub use arch::{Generation, GpuArch, IntPipe};
+pub use events::{CalcNodeEvents, IntegrateEvents, MakeTreeEvents, WalkEvents};
+pub use ops::OpCounts;
+pub use predict::{predict_speedup, SpeedupPrediction};
+pub use timing::{grid_sync_us, kernel_time, sustained_tflops, Bound, ExecMode, GridBarrier, KernelTime};

@@ -1,0 +1,142 @@
+//! SM occupancy calculator.
+//!
+//! Resident blocks per SM are limited by registers, shared memory, thread
+//! slots and the hardware block slot count — whichever binds first.
+//! Appendix A of the paper hinges on this: switching `calcNode` to the
+//! Cooperative-Groups compilation path raises register use from 56 to 64
+//! per thread, dropping occupancy from 9 to 8 blocks per SM and slowing
+//! the kernel even when the barrier itself is unused.
+
+use crate::arch::GpuArch;
+
+/// Launch-time resource footprint of one thread block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Threads per block (`Ttot` in Table 2).
+    pub threads: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes.
+    pub shared_bytes: u32,
+}
+
+/// Occupancy outcome for one kernel on one architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    pub blocks_per_sm: u32,
+    pub warps_per_sm: u32,
+    /// Which resource bound first.
+    pub limiter: Limiter,
+}
+
+/// The resource that capped occupancy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    Registers,
+    SharedMemory,
+    Threads,
+    BlockSlots,
+}
+
+/// Register allocation granularity (registers are allocated in chunks).
+const REG_GRANULARITY: u32 = 256;
+
+/// Compute occupancy of a kernel with the given per-block resources.
+pub fn occupancy(arch: &GpuArch, res: &BlockResources) -> Occupancy {
+    assert!(res.threads > 0 && res.threads.is_multiple_of(32), "threads must be warp-aligned");
+    let regs_per_block =
+        (res.regs_per_thread * res.threads).div_ceil(REG_GRANULARITY) * REG_GRANULARITY;
+    let by_regs = arch
+        .regs_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let shared_per_sm = arch.shared_per_sm_kib * 1024;
+    let by_shared = shared_per_sm
+        .checked_div(res.shared_bytes)
+        .unwrap_or(u32::MAX);
+    let by_threads = arch.max_threads_per_sm / res.threads;
+    let by_slots = arch.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (by_regs, Limiter::Registers),
+        (by_shared, Limiter::SharedMemory),
+        (by_threads, Limiter::Threads),
+        (by_slots, Limiter::BlockSlots),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .unwrap();
+
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: blocks * res.threads / 32,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_a_register_pressure() {
+        // Appendix A: calcNode with 128 threads/block uses 56 regs/thread
+        // in the original implementation (9 blocks/SM on V100) and 64
+        // regs/thread when compiled for Cooperative Groups (8 blocks/SM).
+        let v100 = GpuArch::tesla_v100();
+        let original = occupancy(
+            &v100,
+            &BlockResources { threads: 128, regs_per_thread: 56, shared_bytes: 0 },
+        );
+        let cg = occupancy(
+            &v100,
+            &BlockResources { threads: 128, regs_per_thread: 64, shared_bytes: 0 },
+        );
+        assert_eq!(original.blocks_per_sm, 9);
+        assert_eq!(cg.blocks_per_sm, 8);
+        assert_eq!(original.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_memory_limits_fat_blocks() {
+        let v100 = GpuArch::tesla_v100();
+        let o = occupancy(
+            &v100,
+            &BlockResources { threads: 32, regs_per_thread: 16, shared_bytes: 48 * 1024 },
+        );
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn thread_slots_limit_big_blocks() {
+        let v100 = GpuArch::tesla_v100();
+        let o = occupancy(
+            &v100,
+            &BlockResources { threads: 1024, regs_per_thread: 16, shared_bytes: 0 },
+        );
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert_eq!(o.warps_per_sm, 64);
+    }
+
+    #[test]
+    fn block_slots_limit_tiny_blocks() {
+        let v100 = GpuArch::tesla_v100();
+        let o = occupancy(
+            &v100,
+            &BlockResources { threads: 32, regs_per_thread: 8, shared_bytes: 0 },
+        );
+        assert_eq!(o.blocks_per_sm, v100.max_blocks_per_sm);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_warp_multiple() {
+        occupancy(
+            &GpuArch::tesla_v100(),
+            &BlockResources { threads: 33, regs_per_thread: 8, shared_bytes: 0 },
+        );
+    }
+}

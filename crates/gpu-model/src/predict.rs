@@ -1,0 +1,94 @@
+//! The speed-up prediction model of Fig. 8.
+//!
+//! The paper predicts the V100-over-P100 speed-up of the gravity kernel
+//! as the product of two factors:
+//!
+//! * the theoretical-peak-performance ratio (≈ 1.48), and
+//! * the *integer-hiding* ratio `(int + fp) / max(int, fp)` — on P100 one
+//!   unit executes both instruction classes, on V100 they overlap.
+//!
+//! The measured-bandwidth ratio is the reference line the observed
+//! speed-up collapses to once the kernel leaves the compute-bound regime.
+
+use crate::arch::GpuArch;
+use crate::ops::OpCounts;
+
+/// The Fig. 8 decomposition for one op profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupPrediction {
+    /// Ratio of theoretical peak performance (magenta dot-dashed line).
+    pub peak_ratio: f64,
+    /// Ratio of measured memory bandwidth (black dotted line).
+    pub bandwidth_ratio: f64,
+    /// Speed-up from hiding integer operations (blue squares):
+    /// `(int + fp) / max(int, fp)`.
+    pub hiding_ratio: f64,
+    /// The model prediction (red circles): `peak_ratio × hiding_ratio`.
+    pub expected: f64,
+}
+
+/// Evaluate the Fig. 8 model for `ops` on a (fast, slow) GPU pair.
+pub fn predict_speedup(fast: &GpuArch, slow: &GpuArch, ops: &OpCounts) -> SpeedupPrediction {
+    let peak_ratio = fast.peak_sp_tflops() / slow.peak_sp_tflops();
+    let bandwidth_ratio = fast.mem_bw_gbs / slow.mem_bw_gbs;
+    let hiding_ratio = if ops.overlap_max() == 0 {
+        1.0
+    } else {
+        ops.serial_sum() as f64 / ops.overlap_max() as f64
+    };
+    SpeedupPrediction {
+        peak_ratio,
+        bandwidth_ratio,
+        hiding_ratio,
+        expected: peak_ratio * hiding_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_reference_lines() {
+        let p = predict_speedup(
+            &GpuArch::tesla_v100(),
+            &GpuArch::tesla_p100(),
+            &OpCounts::default(),
+        );
+        assert!((p.peak_ratio - 1.48).abs() < 0.03);
+        assert!(p.bandwidth_ratio > 1.0 && p.bandwidth_ratio < p.peak_ratio);
+        assert_eq!(p.hiding_ratio, 1.0); // empty profile: nothing to hide
+    }
+
+    #[test]
+    fn observed_2p2_speedup_is_reachable() {
+        // §4.2: with int ≈ half of fp, expected = 1.48 × 1.5 ≈ 2.2 — the
+        // observed high-accuracy speed-up.
+        let ops = OpCounts {
+            int_ops: 50,
+            fp_fma: 50,
+            fp_mul: 25,
+            fp_add: 25,
+            ..OpCounts::default()
+        };
+        let p = predict_speedup(&GpuArch::tesla_v100(), &GpuArch::tesla_p100(), &ops);
+        assert!((p.expected - 2.2).abs() < 0.05, "expected {}", p.expected);
+    }
+
+    #[test]
+    fn fp_only_kernel_gains_only_peak_ratio() {
+        // The direct method (no integer work) would gain only the peak
+        // ratio — the tree method is what exposes the overlap win (§1/§4.2).
+        let ops = OpCounts { fp_fma: 1000, ..OpCounts::default() };
+        let p = predict_speedup(&GpuArch::tesla_v100(), &GpuArch::tesla_p100(), &ops);
+        assert!((p.expected - p.peak_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_dominated_kernel_caps_at_two_ish() {
+        // hiding ratio = (int+fp)/int → at most 2 when int = fp.
+        let ops = OpCounts { int_ops: 1000, fp_add: 1000, ..OpCounts::default() };
+        let p = predict_speedup(&GpuArch::tesla_v100(), &GpuArch::tesla_p100(), &ops);
+        assert!((p.hiding_ratio - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Conservation diagnostics: energy, momentum, angular momentum, centre of
+//! mass. All accumulation is performed in `f64` so that drifts of the
+//! single-precision dynamics are measured, not masked.
+
+use crate::kernel::self_potential;
+use crate::particles::ParticleSet;
+
+/// Snapshot of the conserved quantities of a particle set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    pub kinetic: f64,
+    pub potential: f64,
+    pub momentum: [f64; 3],
+    pub angular_momentum: [f64; 3],
+    pub center_of_mass: [f64; 3],
+    pub total_mass: f64,
+}
+
+impl Diagnostics {
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic + self.potential
+    }
+
+    /// |E(now) − E(ref)| / |E(ref)| — the standard relative drift metric.
+    pub fn relative_energy_drift(&self, reference: &Diagnostics) -> f64 {
+        let e0 = reference.total_energy();
+        if e0 == 0.0 {
+            return f64::INFINITY;
+        }
+        ((self.total_energy() - e0) / e0).abs()
+    }
+}
+
+/// Measure the conserved quantities. Requires `ps.pot` to be up to date
+/// (i.e. taken after a force evaluation); the self-interaction bias of the
+/// softened GPU kernel (−mᵢ/ε per particle) is removed here, and the 1/2
+/// double-counting factor of the pairwise potential applied.
+pub fn measure(ps: &ParticleSet, eps2: f32) -> Diagnostics {
+    let mut d = Diagnostics::default();
+    for i in 0..ps.len() {
+        let m = ps.mass[i] as f64;
+        let v = ps.vel[i].as_f64();
+        let p = ps.pos[i].as_f64();
+        d.total_mass += m;
+        d.kinetic += 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+        let pot_i = ps.pot[i] as f64 - self_potential(ps.mass[i], eps2) as f64;
+        d.potential += 0.5 * m * pot_i;
+        for k in 0..3 {
+            d.momentum[k] += m * v[k];
+            d.center_of_mass[k] += m * p[k];
+        }
+        d.angular_momentum[0] += m * (p[1] * v[2] - p[2] * v[1]);
+        d.angular_momentum[1] += m * (p[2] * v[0] - p[0] * v[2]);
+        d.angular_momentum[2] += m * (p[0] * v[1] - p[1] * v[0]);
+    }
+    if d.total_mass > 0.0 {
+        for k in 0..3 {
+            d.center_of_mass[k] /= d.total_mass;
+        }
+    }
+    d
+}
+
+/// Virial ratio −2T/W; ≈ 1 for a system in dynamical equilibrium.
+pub fn virial_ratio(d: &Diagnostics) -> f64 {
+    if d.potential == 0.0 {
+        f64::NAN
+    } else {
+        -2.0 * d.kinetic / d.potential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::self_gravity;
+    use crate::vec3::Vec3;
+
+    #[test]
+    fn two_body_binding_energy() {
+        // Two unit masses separated by d=2 (unsoftened):
+        // W = −m1·m2/d = −0.5, T = 0.
+        let mut ps = ParticleSet::with_capacity(2);
+        ps.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::ZERO, 1.0);
+        ps.push(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, 1.0);
+        self_gravity(&mut ps, 0.0);
+        let d = measure(&ps, 0.0);
+        assert!((d.potential + 0.5).abs() < 1e-6, "W = {}", d.potential);
+        assert_eq!(d.kinetic, 0.0);
+    }
+
+    #[test]
+    fn self_potential_bias_is_removed() {
+        // A single isolated particle has zero potential energy even with
+        // softening (the kernel's −m/ε self term must not leak in).
+        let mut ps = ParticleSet::with_capacity(1);
+        ps.push(Vec3::ZERO, Vec3::ZERO, 5.0);
+        self_gravity(&mut ps, 0.04);
+        let d = measure(&ps, 0.04);
+        assert!(d.potential.abs() < 1e-10, "W = {}", d.potential);
+    }
+
+    #[test]
+    fn momentum_and_com_of_symmetric_pair() {
+        let mut ps = ParticleSet::with_capacity(2);
+        ps.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, -0.5, 0.0), 1.0);
+        ps.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.5, 0.0), 1.0);
+        let d = measure(&ps, 0.0);
+        assert!(d.momentum.iter().all(|&p| p.abs() < 1e-12));
+        assert!(d.center_of_mass.iter().all(|&c| c.abs() < 1e-12));
+        // L = 2 × (1 · 1 · 0.5) ẑ
+        assert!((d.angular_momentum[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_matches_hand_computation() {
+        let mut ps = ParticleSet::with_capacity(1);
+        ps.push(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0), 2.0);
+        let d = measure(&ps, 0.0);
+        assert!((d.kinetic - 25.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn virial_ratio_of_circular_binary_is_one() {
+        // Equal masses m on a circular orbit of separation d: each moves
+        // with v² = m/(2d); T = m·v² = m²/(2d); W = −m²/d; −2T/W = 1.
+        let m = 1.0f32;
+        let dsep = 2.0f32;
+        let v = (m / (2.0 * dsep)).sqrt();
+        let mut ps = ParticleSet::with_capacity(2);
+        ps.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, -v, 0.0), m);
+        ps.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, v, 0.0), m);
+        self_gravity(&mut ps, 0.0);
+        let d = measure(&ps, 0.0);
+        assert!((virial_ratio(&d) - 1.0).abs() < 1e-5);
+    }
+}

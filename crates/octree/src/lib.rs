@@ -1,0 +1,18 @@
+//! # octree — the Barnes–Hut octree of GOTHIC
+//!
+//! Morton keys ([`morton`]), breadth-first linear octree construction
+//! ([`tree`], the `makeTree` kernel), bottom-up node summaries
+//! ([`calcnode`], the `calcNode` kernel), multipole acceptance criteria
+//! ([`mac`], Eq. 2 of the paper) and the warp-group traversal with shared
+//! interaction lists ([`walk`], the `walkTree` kernel).
+
+pub mod calcnode;
+pub mod mac;
+pub mod morton;
+pub mod tree;
+pub mod walk;
+
+pub use calcnode::calc_node;
+pub use mac::Mac;
+pub use tree::{build_tree, build_tree_with_positions, BuildConfig, Octree, NO_CHILD};
+pub use walk::{walk_tree, walk_tree_individual, WalkConfig, WalkResult, WARP_SIZE};

@@ -1,0 +1,131 @@
+//! Multipole acceptance criteria.
+//!
+//! GOTHIC uses the *acceleration MAC* of GADGET (Eq. 2 of the paper):
+//! a distant node J may be used as a single pseudo-particle for sink i
+//! when
+//!
+//! ```text
+//! G·m_J / d²  ·  (b_J / d)²  ≤  Δacc · |a_i^old|
+//! ```
+//!
+//! i.e. the error estimate of the quadrupole-order truncation is a small
+//! fraction Δacc of the particle's previous acceleration. The classic
+//! Barnes–Hut opening angle (`b/d < θ`) is provided both as the baseline
+//! and as the bootstrap criterion for the first step, when no previous
+//! acceleration exists.
+
+use nbody::Real;
+use serde::{Deserialize, Serialize};
+
+/// Acceptance criterion for the tree walk.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Mac {
+    /// Barnes–Hut geometric criterion: accept when `b_J / d < θ`.
+    OpeningAngle {
+        /// Opening angle θ.
+        theta: Real,
+    },
+    /// GADGET-style acceleration criterion (Eq. 2): accept when
+    /// `G·m_J·b_J² ≤ Δacc · |a_old| · d⁴`.
+    Acceleration {
+        /// Accuracy-controlling parameter Δacc (the x-axis of Figs. 1–10).
+        delta_acc: Real,
+    },
+}
+
+impl Mac {
+    /// The paper's fiducial accuracy: Δacc = 2⁻⁹ ≈ 1.95 × 10⁻³.
+    pub fn fiducial() -> Mac {
+        Mac::Acceleration { delta_acc: 2.0f32.powi(-9) }
+    }
+
+    /// Decide whether node J (mass `m`, bounding radius `b`) may be
+    /// accepted at squared distance `d2`, for a sink (group) whose
+    /// smallest previous acceleration magnitude is `a_min`.
+    ///
+    /// `a_min` is ignored by the opening-angle criterion. With G = 1 in
+    /// simulation units, Eq. 2 reduces to `m·b² ≤ Δacc·a_min·d⁴`.
+    #[inline(always)]
+    pub fn accepts(&self, m: Real, b: Real, d2: Real, a_min: Real) -> bool {
+        match *self {
+            Mac::OpeningAngle { theta } => b * b < theta * theta * d2,
+            Mac::Acceleration { delta_acc } => m * b * b <= delta_acc * a_min * d2 * d2,
+        }
+    }
+
+    /// True when the criterion needs previous accelerations (and thus a
+    /// bootstrap pass on the first step).
+    pub fn needs_old_acceleration(&self) -> bool {
+        matches!(self, Mac::Acceleration { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opening_angle_is_purely_geometric() {
+        let mac = Mac::OpeningAngle { theta: 0.5 };
+        // b/d = 0.4 < 0.5 → accept, regardless of mass or a_min.
+        assert!(mac.accepts(1e12, 0.4, 1.0, 0.0));
+        // b/d = 0.6 → reject.
+        assert!(!mac.accepts(1e-12, 0.6, 1.0, 1e12));
+    }
+
+    #[test]
+    fn acceleration_mac_accepts_farther_for_weaker_error() {
+        let mac = Mac::Acceleration { delta_acc: 1e-3 };
+        let (m, b, a) = (1.0, 0.1, 1.0);
+        // Find acceptance flip: m·b² = 0.01; need d⁴ ≥ 0.01/1e-3 = 10 →
+        // d ≥ 1.78.
+        assert!(!mac.accepts(m, b, 1.5 * 1.5, a));
+        assert!(mac.accepts(m, b, 1.8 * 1.8, a));
+    }
+
+    #[test]
+    fn smaller_delta_acc_is_stricter() {
+        let loose = Mac::Acceleration { delta_acc: 1e-1 };
+        let tight = Mac::Acceleration { delta_acc: 1e-5 };
+        let (m, b, d2, a) = (1.0, 0.2, 4.0, 0.5);
+        assert!(loose.accepts(m, b, d2, a));
+        assert!(!tight.accepts(m, b, d2, a));
+    }
+
+    #[test]
+    fn larger_old_acceleration_loosens_the_bound() {
+        // Particles in strong fields tolerate larger absolute force
+        // errors — the defining property of the acceleration MAC.
+        let mac = Mac::Acceleration { delta_acc: 1e-3 };
+        let (m, b, d2) = (1.0, 0.2, 2.0);
+        assert!(!mac.accepts(m, b, d2, 1e-2));
+        assert!(mac.accepts(m, b, d2, 1e2));
+    }
+
+    #[test]
+    fn zero_old_acceleration_rejects_everything_massive() {
+        // a_min = 0 (first step) must force full opening — the pipeline
+        // bootstraps with the opening-angle MAC instead.
+        let mac = Mac::Acceleration { delta_acc: 1e-3 };
+        assert!(!mac.accepts(1.0, 0.1, 100.0, 0.0));
+        assert!(mac.needs_old_acceleration());
+        assert!(!Mac::OpeningAngle { theta: 0.7 }.needs_old_acceleration());
+    }
+
+    #[test]
+    fn fiducial_matches_paper_value() {
+        if let Mac::Acceleration { delta_acc } = Mac::fiducial() {
+            assert!((delta_acc - 1.953_125e-3).abs() < 1e-9);
+        } else {
+            panic!("fiducial must be the acceleration MAC");
+        }
+    }
+
+    #[test]
+    fn point_node_is_always_acceptable_at_distance() {
+        // b = 0 (single particle pseudo-node): accepted by both MACs at
+        // any positive distance.
+        assert!(Mac::OpeningAngle { theta: 0.1 }.accepts(1.0, 0.0, 1e-12, 0.0));
+        assert!(Mac::Acceleration { delta_acc: 1e-9 }.accepts(1.0, 0.0, 1e-6, 1e-9));
+    }
+}

@@ -1,0 +1,423 @@
+//! Octree construction — the `makeTree` kernel of Table 2.
+//!
+//! GOTHIC builds a breadth-first linear octree: particles are sorted along
+//! the Morton curve (radix sort of the 63-bit keys, via `devsort`), then
+//! nodes are created level by level; each node owns a *contiguous* range
+//! of the sorted particle array, and the children of one node are
+//! contiguous in the node array. The breadth-first (level-ordered) layout
+//! is what makes the per-level bottom-up `calcNode` passes and the
+//! per-level grid synchronizations of Appendix A meaningful.
+
+use crate::morton::{self, MAX_DEPTH};
+use nbody::{Aabb, ParticleSet, Real, Vec3};
+use gpu_model::MakeTreeEvents;
+use rayon::prelude::*;
+
+/// Sentinel for "no children".
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// A breadth-first linear octree over a Morton-sorted particle set.
+///
+/// All per-node arrays are indexed by node id; node 0 is the root. The
+/// centre-of-mass fields (`com`, `mass`, `bmax`) are filled by
+/// [`crate::calcnode::calc_node`], not by the build.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// Root cube (cubic AABB enclosing all particles).
+    pub cube: Aabb,
+    /// Morton keys of the (sorted) particles.
+    pub keys: Vec<u64>,
+    /// Tree depth of each node (root = 0).
+    pub level: Vec<u8>,
+    /// First particle (index into the sorted particle arrays).
+    pub pstart: Vec<u32>,
+    /// Number of particles in the node's subtree.
+    pub pcount: Vec<u32>,
+    /// First child node id, or [`NO_CHILD`] for leaves.
+    pub child_start: Vec<u32>,
+    /// Number of children (0..=8).
+    pub child_count: Vec<u8>,
+    /// Geometric cell centre.
+    pub cell_center: Vec<Vec3>,
+    /// Geometric cell half-edge.
+    pub cell_half: Vec<Real>,
+    /// Centre of mass (from `calc_node`).
+    pub com: Vec<Vec3>,
+    /// Total mass (from `calc_node`).
+    pub mass: Vec<Real>,
+    /// Bounding radius of the node's matter around `com` (from
+    /// `calc_node`); plays the `b_J` role in the MAC (Eq. 2).
+    pub bmax: Vec<Real>,
+    /// Node id ranges per level: nodes of level `l` are
+    /// `level_start[l]..level_start[l + 1]`.
+    pub level_start: Vec<u32>,
+    /// Build-phase event counts for the performance model.
+    pub events: MakeTreeEvents,
+}
+
+impl Octree {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Number of levels (root level included).
+    pub fn n_levels(&self) -> usize {
+        self.level_start.len() - 1
+    }
+
+    /// True when the node has no children.
+    #[inline(always)]
+    pub fn is_leaf(&self, node: usize) -> bool {
+        self.child_start[node] == NO_CHILD
+    }
+
+    /// Child node id range of an internal node.
+    #[inline(always)]
+    pub fn children(&self, node: usize) -> std::ops::Range<usize> {
+        let s = self.child_start[node] as usize;
+        s..s + self.child_count[node] as usize
+    }
+
+    /// Particle index range of a node.
+    #[inline(always)]
+    pub fn particles(&self, node: usize) -> std::ops::Range<usize> {
+        let s = self.pstart[node] as usize;
+        s..s + self.pcount[node] as usize
+    }
+
+    /// Validate structural invariants; used by tests and the property
+    /// suite. Checks that every node's particle range is the exact union
+    /// of its children's, leaves are within capacity (or at max depth),
+    /// and the level layout is breadth-first.
+    pub fn check_invariants(&self, leaf_cap: u32) -> Result<(), String> {
+        let n = self.n_nodes();
+        if n == 0 {
+            return Err("empty tree".into());
+        }
+        if self.pstart[0] != 0 || self.pcount[0] as usize != self.keys.len() {
+            return Err("root does not cover all particles".into());
+        }
+        for v in 0..n {
+            if self.is_leaf(v) {
+                if self.pcount[v] > leaf_cap && (self.level[v] as u32) < MAX_DEPTH {
+                    return Err(format!("leaf {v} overfull: {}", self.pcount[v]));
+                }
+                continue;
+            }
+            let kids = self.children(v);
+            if kids.is_empty() {
+                return Err(format!("internal node {v} has zero children"));
+            }
+            let mut cursor = self.pstart[v];
+            let mut total = 0;
+            for c in kids {
+                if self.level[c] != self.level[v] + 1 {
+                    return Err(format!("child {c} level mismatch under {v}"));
+                }
+                if self.pstart[c] != cursor {
+                    return Err(format!("child {c} range not contiguous under {v}"));
+                }
+                if self.pcount[c] == 0 {
+                    return Err(format!("empty child {c} stored under {v}"));
+                }
+                cursor += self.pcount[c];
+                total += self.pcount[c];
+            }
+            if total != self.pcount[v] {
+                return Err(format!(
+                    "node {v} children cover {total} of {} particles",
+                    self.pcount[v]
+                ));
+            }
+        }
+        // Level layout monotone.
+        for w in self.level_start.windows(2) {
+            if w[0] > w[1] {
+                return Err("level_start not monotone".into());
+            }
+        }
+        for (l, w) in self.level_start.windows(2).enumerate() {
+            for v in w[0]..w[1] {
+                if self.level[v as usize] as usize != l {
+                    return Err(format!("node {v} misfiled in level {l}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tree-build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildConfig {
+    /// Maximum particles per leaf before splitting.
+    pub leaf_cap: u32,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig { leaf_cap: 16 }
+    }
+}
+
+/// Build the octree keyed on `ps.pos`. The particle set is permuted into
+/// Morton order (`ps.id` keeps the original indices) — exactly what
+/// GOTHIC's tree rebuild does to keep traversal memory access coalesced.
+pub fn build_tree(ps: &mut ParticleSet, cfg: &BuildConfig) -> Octree {
+    let pos = ps.pos.clone();
+    build_tree_with_positions(ps, &pos, cfg).0
+}
+
+/// Build the octree keyed on an external position array (GOTHIC keys the
+/// rebuild on the *predicted* positions while the committed block-step
+/// state stays untouched). Returns the tree and the applied permutation
+/// so the caller can reorder its own per-particle arrays (predicted
+/// positions, block-step levels, …) consistently.
+pub fn build_tree_with_positions(
+    ps: &mut ParticleSet,
+    positions: &[Vec3],
+    cfg: &BuildConfig,
+) -> (Octree, Vec<u32>) {
+    assert!(!ps.is_empty(), "cannot build a tree over zero particles");
+    assert_eq!(positions.len(), ps.len());
+    let cube = Aabb::from_points(positions).bounding_cube();
+
+    // Key + sort + permute (the radix sort is the dominant cost in
+    // GOTHIC's makeTree; see §4.1).
+    let mut keys = morton::morton_keys(positions, &cube);
+    let mut perm: Vec<u32> = (0..ps.len() as u32).collect();
+    devsort::sort_pairs(&mut keys, &mut perm);
+    ps.permute(&perm);
+
+    let n = ps.len() as u32;
+    let mut tree = Octree {
+        cube,
+        keys,
+        level: vec![0],
+        pstart: vec![0],
+        pcount: vec![n],
+        child_start: vec![NO_CHILD],
+        child_count: vec![0],
+        cell_center: vec![cube.center()],
+        cell_half: vec![cube.extent().x * 0.5],
+        com: Vec::new(),
+        mass: Vec::new(),
+        bmax: Vec::new(),
+        level_start: vec![0, 1],
+        events: MakeTreeEvents {
+            particles: n as u64,
+            sort_passes: 8,
+            nodes_created: 1,
+        },
+    };
+
+    // Breadth-first splitting.
+    let mut frontier: Vec<u32> = vec![0];
+    let mut level = 0u32;
+    while !frontier.is_empty() && level < MAX_DEPTH {
+        // Decide splits in parallel: for every frontier node that is too
+        // big, find its children's particle ranges via binary searches in
+        // the sorted key array.
+        let splits: Vec<(u32, Vec<(u32, u32)>)> = frontier
+            .par_iter()
+            .filter(|&&v| tree.pcount[v as usize] > cfg.leaf_cap)
+            .map(|&v| {
+                let s = tree.pstart[v as usize] as usize;
+                let c = tree.pcount[v as usize] as usize;
+                let slice = &tree.keys[s..s + c];
+                let mut ranges = Vec::with_capacity(8);
+                let mut lo = 0usize;
+                for oct in 0..8u32 {
+                    let hi = if oct == 7 {
+                        c
+                    } else {
+                        lo + slice[lo..].partition_point(|&k| {
+                            morton::octant_at_level(k, level) <= oct
+                        })
+                    };
+                    if hi > lo {
+                        ranges.push(((s + lo) as u32, (hi - lo) as u32));
+                    }
+                    lo = hi;
+                }
+                (v, ranges)
+            })
+            .collect();
+
+        // Append children in breadth-first order (serial; cheap relative
+        // to the searches).
+        let mut next_frontier = Vec::with_capacity(splits.len() * 4);
+        for (v, ranges) in splits {
+            let vi = v as usize;
+            let first = tree.level.len() as u32;
+            tree.child_start[vi] = first;
+            tree.child_count[vi] = ranges.len() as u8;
+            let parent_center = tree.cell_center[vi];
+            let child_half = tree.cell_half[vi] * 0.5;
+            for (ps_, pc) in ranges {
+                let key = tree.keys[ps_ as usize];
+                let oct = morton::octant_at_level(key, level);
+                let cc = Vec3::new(
+                    parent_center.x + if oct & 0b100 != 0 { child_half } else { -child_half },
+                    parent_center.y + if oct & 0b010 != 0 { child_half } else { -child_half },
+                    parent_center.z + if oct & 0b001 != 0 { child_half } else { -child_half },
+                );
+                let id = tree.level.len() as u32;
+                tree.level.push((level + 1) as u8);
+                tree.pstart.push(ps_);
+                tree.pcount.push(pc);
+                tree.child_start.push(NO_CHILD);
+                tree.child_count.push(0);
+                tree.cell_center.push(cc);
+                tree.cell_half.push(child_half);
+                next_frontier.push(id);
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        tree.level_start.push(tree.level.len() as u32);
+        frontier = next_frontier;
+        level += 1;
+    }
+    tree.events.nodes_created = tree.n_nodes() as u64;
+
+    // Size the COM arrays; calc_node fills them.
+    let n_nodes = tree.n_nodes();
+    tree.com = vec![Vec3::ZERO; n_nodes];
+    tree.mass = vec![0.0; n_nodes];
+    tree.bmax = vec![0.0; n_nodes];
+    (tree, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_particles(n: usize, seed: u64) -> ParticleSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParticleSet::with_capacity(n);
+        for _ in 0..n {
+            let p = Vec3::new(
+                rng.random::<Real>() * 2.0 - 1.0,
+                rng.random::<Real>() * 2.0 - 1.0,
+                rng.random::<Real>() * 2.0 - 1.0,
+            );
+            ps.push(p, Vec3::ZERO, 1.0 / n as Real);
+        }
+        ps
+    }
+
+    #[test]
+    fn build_covers_all_particles_once() {
+        let mut ps = random_particles(5000, 1);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        tree.check_invariants(16).unwrap();
+        // Sum of leaf particle counts equals N.
+        let total: u32 = (0..tree.n_nodes())
+            .filter(|&v| tree.is_leaf(v))
+            .map(|v| tree.pcount[v])
+            .sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn keys_are_sorted_after_build() {
+        let mut ps = random_particles(3000, 2);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        assert!(tree.keys.windows(2).all(|w| w[0] <= w[1]));
+        ps.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn particles_live_inside_their_leaf_cells() {
+        let mut ps = random_particles(2000, 3);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        for v in 0..tree.n_nodes() {
+            if !tree.is_leaf(v) {
+                continue;
+            }
+            let c = tree.cell_center[v];
+            // Tolerance: cell boundaries are quantised to the Morton
+            // lattice, not to exact float positions.
+            let h = tree.cell_half[v] * (1.0 + 1e-4) + 1e-6;
+            for p in tree.particles(v) {
+                let d = ps.pos[p] - c;
+                assert!(
+                    d.x.abs() <= h && d.y.abs() <= h && d.z.abs() <= h,
+                    "particle {p} outside leaf {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_particle_tree_is_root_leaf() {
+        let mut ps = ParticleSet::with_capacity(1);
+        ps.push(Vec3::new(0.5, -0.2, 0.1), Vec3::ZERO, 2.0);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert!(tree.is_leaf(0));
+        tree.check_invariants(16).unwrap();
+    }
+
+    #[test]
+    fn coincident_particles_stop_at_max_depth() {
+        // All particles at the same location can never split below one
+        // Morton cell; the build must terminate via the depth cap.
+        let mut ps = ParticleSet::with_capacity(64);
+        for _ in 0..64 {
+            ps.push(Vec3::splat(0.25), Vec3::ZERO, 1.0);
+        }
+        // Add one far particle so the cube is non-degenerate.
+        ps.push(Vec3::splat(1.0), Vec3::ZERO, 1.0);
+        let tree = build_tree(&mut ps, &BuildConfig { leaf_cap: 4 });
+        tree.check_invariants(4).unwrap();
+        let deepest = tree.level.iter().copied().max().unwrap() as u32;
+        assert!(deepest <= MAX_DEPTH);
+    }
+
+    #[test]
+    fn leaf_cap_controls_node_count() {
+        let mut ps1 = random_particles(4000, 9);
+        let mut ps2 = random_particles(4000, 9);
+        let coarse = build_tree(&mut ps1, &BuildConfig { leaf_cap: 64 });
+        let fine = build_tree(&mut ps2, &BuildConfig { leaf_cap: 4 });
+        assert!(fine.n_nodes() > coarse.n_nodes());
+        coarse.check_invariants(64).unwrap();
+        fine.check_invariants(4).unwrap();
+    }
+
+    #[test]
+    fn clustered_distribution_builds_deeper_tree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParticleSet::with_capacity(4000);
+        for _ in 0..4000 {
+            // Tight Gaussian cluster in a unit domain.
+            let p = Vec3::new(
+                rng.random::<Real>() * 0.01,
+                rng.random::<Real>() * 0.01,
+                rng.random::<Real>() * 0.01,
+            );
+            ps.push(p, Vec3::ZERO, 1.0);
+        }
+        ps.push(Vec3::splat(1.0), Vec3::ZERO, 1.0);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        let mut ps_u = random_particles(4001, 5);
+        let uniform = build_tree(&mut ps_u, &BuildConfig::default());
+        let deep = tree.level.iter().copied().max().unwrap();
+        let deep_u = uniform.level.iter().copied().max().unwrap();
+        assert!(deep > deep_u, "clustered {deep} vs uniform {deep_u}");
+    }
+
+    #[test]
+    fn events_record_build_size() {
+        let mut ps = random_particles(1000, 6);
+        let tree = build_tree(&mut ps, &BuildConfig::default());
+        assert_eq!(tree.events.particles, 1000);
+        assert_eq!(tree.events.nodes_created, tree.n_nodes() as u64);
+        assert_eq!(tree.events.sort_passes, 8);
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared-memory carveout configuration (§2.1).
+//!
+//! On Volta, L1 and shared memory share one 128 KiB physical array; CUDA
+//! picks the shared-memory capacity per SM from the candidate set
+//! {0, 8, 16, 32, 64, 96} KiB, or the user requests a preference with
+//! `cudaFuncSetAttribute(..., PreferredSharedMemoryCarveout, percent)`.
+//! The runtime grants the **smallest candidate whose ratio of the 96 KiB
+//! maximum is at least the requested percentage** — hence the paper's
+//! pitfall: asking for 66 (%) grants 64 KiB (since 64/96 ≈ 66.7 % ≥ 66)
+//! but asking for 67 grants 96 KiB. The safe request is
+//! `floor(expected / maximum × 100)`.
+
+/// Candidate shared-memory capacities per SM on Volta, KiB.
+pub const CARVEOUT_CANDIDATES_KIB: [u32; 6] = [0, 8, 16, 32, 64, 96];
+
+/// Maximum shared memory per SM on Volta, KiB.
+pub const CARVEOUT_MAX_KIB: u32 = 96;
+
+/// Resolve a preferred-carveout percentage (0–100) to the capacity CUDA
+/// actually grants.
+pub fn carveout_capacity_kib(preferred_percent: u32) -> u32 {
+    let preferred = preferred_percent.min(100);
+    for &c in &CARVEOUT_CANDIDATES_KIB {
+        // candidate ratio (percent) ≥ requested percent, comparing in
+        // integer arithmetic: c/96·100 ≥ p  ⇔  c·100 ≥ p·96.
+        if c * 100 >= preferred * CARVEOUT_MAX_KIB {
+            return c;
+        }
+    }
+    CARVEOUT_MAX_KIB
+}
+
+/// The safe request for a desired capacity: the floor of the exact ratio,
+/// as the paper prescribes ("the input integer should be the largest
+/// integer value not greater than the expected ratio").
+pub fn carveout_percent_for(desired_kib: u32) -> u32 {
+    (desired_kib.min(CARVEOUT_MAX_KIB) * 100) / CARVEOUT_MAX_KIB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pitfall_66_gives_64_kib() {
+        // §2.1: "inputting an integer value of 66 assigns 64 KiB".
+        assert_eq!(carveout_capacity_kib(66), 64);
+    }
+
+    #[test]
+    fn paper_pitfall_67_gives_96_kib() {
+        // §2.1: "putting 67 assigns 96 KiB instead of 64 KiB".
+        assert_eq!(carveout_capacity_kib(67), 96);
+    }
+
+    #[test]
+    fn floor_request_recovers_each_candidate() {
+        for &c in &CARVEOUT_CANDIDATES_KIB {
+            let pct = carveout_percent_for(c);
+            assert_eq!(carveout_capacity_kib(pct), c, "candidate {c} KiB via {pct}%");
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(carveout_capacity_kib(0), 0);
+        assert_eq!(carveout_capacity_kib(100), 96);
+        assert_eq!(carveout_capacity_kib(1), 8);
+        assert_eq!(carveout_capacity_kib(250), 96); // clamped
+    }
+
+    #[test]
+    fn resolution_is_monotone() {
+        let mut last = 0;
+        for p in 0..=100 {
+            let c = carveout_capacity_kib(p);
+            assert!(c >= last, "non-monotone at {p}%");
+            last = c;
+        }
+    }
+}

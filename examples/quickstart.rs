@@ -1,0 +1,64 @@
+//! Quickstart: simulate a Plummer star cluster with the GOTHIC pipeline
+//! and watch energy conservation plus the modeled GPU cost per step.
+//!
+//! ```text
+//! cargo run --release --example quickstart [N]
+//! ```
+
+use gothic::galaxy::plummer_model;
+use gothic::nbody::units;
+use gothic::{Gothic, RunConfig};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
+    println!("GOTHIC quickstart: Plummer sphere, N = {n}");
+    println!(
+        "units: 1 length = 1 kpc, 1 mass = 1e8 Msun, 1 velocity = {:.2} km/s, 1 time = {:.2} Myr",
+        units::velocity_unit_kms(),
+        units::time_unit_myr()
+    );
+
+    // 10^10 Msun cluster with 1 kpc scale radius, in virial equilibrium.
+    let particles = plummer_model(n, 100.0, 1.0, 42);
+    let cfg = RunConfig::default();
+    let mut sim = Gothic::new(particles, cfg);
+
+    let e0 = sim.diagnostics();
+    println!(
+        "initial: E = {:.6}, virial ratio = {:.3}",
+        e0.total_energy(),
+        gothic::nbody::energy::virial_ratio(&e0)
+    );
+    println!(
+        "{:>5} {:>10} {:>8} {:>9} {:>14} {:>12}",
+        "step", "t [Myr]", "active", "rebuilt", "model t/step", "interactions"
+    );
+
+    for _ in 0..32 {
+        let r = sim.step();
+        if r.step % 4 == 0 || r.rebuilt {
+            println!(
+                "{:>5} {:>10.3} {:>8} {:>9} {:>12.3e} s {:>12}",
+                r.step,
+                r.time * units::time_unit_myr(),
+                r.n_active,
+                r.rebuilt,
+                r.profile.total_seconds(),
+                r.events.walk.interactions
+            );
+        }
+    }
+
+    let e1 = sim.diagnostics();
+    println!(
+        "final:   E = {:.6}, relative drift = {:.2e}",
+        e1.total_energy(),
+        e1.relative_energy_drift(&e0)
+    );
+    println!(
+        "tree: {} nodes, {} levels, rebuilt {} steps ago",
+        sim.tree().n_nodes(),
+        sim.tree().n_levels(),
+        sim.tree_age()
+    );
+}

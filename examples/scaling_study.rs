@@ -1,0 +1,62 @@
+//! Scaling study: time-per-step versus particle count across the GPU
+//! lineup (the Fig. 3 axis), plus the §3 capacity limits.
+//!
+//! ```text
+//! cargo run --release --example scaling_study [MAX_POW]
+//! ```
+
+use gothic::galaxy::M31Model;
+use gothic::gpu_model::{capacity, ExecMode, GpuArch, GridBarrier};
+use gothic::{price_step, Gothic, Profile, RunConfig};
+
+fn main() {
+    let max_pow: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(14);
+    let archs = [
+        (GpuArch::tesla_v100(), ExecMode::PascalMode),
+        (GpuArch::tesla_p100(), ExecMode::PascalMode),
+        (GpuArch::tesla_m2090(), ExecMode::PascalMode),
+    ];
+
+    println!("modeled time per step [s] at dacc = 2^-9 (M31 model):");
+    print!("{:>9}", "N");
+    for (a, _) in &archs {
+        print!("  {:>22}", a.name);
+    }
+    println!();
+
+    for pow in 10..=max_pow {
+        let n = 1usize << pow;
+        let particles = M31Model::paper_model().sample(n, 99);
+        let mut sim = Gothic::new(particles, RunConfig::default());
+        for _ in 0..3 {
+            sim.step(); // warm-up
+        }
+        let steps = 8;
+        let mut profiles: Vec<Profile> = vec![Profile::default(); archs.len()];
+        for _ in 0..steps {
+            let r = sim.step();
+            for (k, (a, m)) in archs.iter().enumerate() {
+                profiles[k].add(&price_step(&r.events, a, *m, GridBarrier::LockFree));
+            }
+        }
+        print!("{:>9}", n);
+        for p in &profiles {
+            print!("  {:>22.4e}", p.total_seconds() / steps as f64);
+        }
+        println!();
+    }
+
+    println!();
+    println!("capacity limits from the per-SM traversal-buffer model (§3):");
+    for (a, _) in &archs {
+        println!(
+            "  {:<22} max N = {:>12}  ({:.1} x 2^20)",
+            a.name,
+            capacity::max_particles(a),
+            capacity::max_particles(a) as f64 / (1u64 << 20) as f64
+        );
+    }
+    println!("paper: V100 tops out at 25x2^20 = 26 214 400 (2.0e-1 s/step),");
+    println!("       P100 at 30x2^20 = 31 457 280 (3.3e-1 s/step) — more, despite");
+    println!("       being the smaller GPU, because V100's 80 SMs each need a buffer.");
+}

@@ -1,0 +1,192 @@
+//! Force accuracy of the tree code against the direct-summation oracle,
+//! including property-based tests over random particle distributions.
+
+use gothic::galaxy::M31Model;
+use gothic::nbody::direct::direct_parallel;
+use gothic::nbody::{ParticleSet, Real, Source, Vec3};
+use gothic::octree::{build_tree, calc_node, walk_tree, BuildConfig, Mac, WalkConfig};
+use proptest::prelude::*;
+
+fn tree_vs_direct(ps: &mut ParticleSet, mac: Mac, eps2: Real) -> (Vec<f64>, u64) {
+    let mut tree = build_tree(ps, &BuildConfig::default());
+    calc_node(&mut tree, &ps.pos, &ps.mass);
+    let n = ps.len();
+    let active: Vec<u32> = (0..n as u32).collect();
+    let a_old = vec![1.0 as Real; n];
+    let res = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &WalkConfig {
+        mac,
+        eps2,
+        ..WalkConfig::default()
+    });
+    let sources: Vec<Source> = ps
+        .pos
+        .iter()
+        .zip(&ps.mass)
+        .map(|(&p, &m)| Source { pos: p, mass: m })
+        .collect();
+    let (dacc, _) = direct_parallel(&ps.pos, &sources, eps2);
+    let errs = (0..n)
+        .map(|i| ((res.acc[i] - dacc[i]).norm() / dacc[i].norm().max(1e-12)) as f64)
+        .collect();
+    (errs, res.events.interactions)
+}
+
+fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[((v.len() as f64 * p) as usize).min(v.len() - 1)]
+}
+
+#[test]
+fn m31_force_errors_decrease_with_delta_acc() {
+    let mut last_median = f64::INFINITY;
+    for exp in [2i32, 6, 10, 14] {
+        let mut ps = M31Model::paper_model().sample(2048, 11);
+        let (errs, _) = tree_vs_direct(
+            &mut ps,
+            Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            1e-4,
+        );
+        let med = percentile(errs, 0.5);
+        assert!(
+            med < last_median * 1.1,
+            "median error must shrink: 2^-{exp} gave {med} after {last_median}"
+        );
+        last_median = med;
+    }
+    assert!(last_median < 5e-4, "tightest error {last_median}");
+}
+
+#[test]
+fn m31_tail_errors_are_controlled() {
+    // The MAC bounds the *acceleration-relative* error; the 99th
+    // percentile must still be moderate at the fiducial accuracy.
+    let mut ps = M31Model::paper_model().sample(2048, 12);
+    let (errs, _) = tree_vs_direct(&mut ps, Mac::fiducial(), 1e-4);
+    let p99 = percentile(errs, 0.99);
+    assert!(p99 < 5e-2, "99th-percentile relative error {p99}");
+}
+
+#[test]
+fn work_grows_as_accuracy_tightens_but_stays_sub_n_squared() {
+    let n = 2048u64;
+    let mut prev = 0u64;
+    for exp in [1i32, 6, 12, 18] {
+        let mut ps = M31Model::paper_model().sample(n as usize, 13);
+        let (_, inter) = tree_vs_direct(
+            &mut ps,
+            Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            1e-4,
+        );
+        assert!(inter > prev, "interactions must grow with accuracy");
+        assert!(inter < n * n, "tree must beat the O(N²) direct method");
+        prev = inter;
+    }
+}
+
+#[test]
+fn opening_angle_baseline_behaves_like_classic_barnes_hut() {
+    let mut last = f64::INFINITY;
+    for theta in [0.9f32, 0.6, 0.3] {
+        let mut ps = M31Model::paper_model().sample(1024, 14);
+        let (errs, _) = tree_vs_direct(&mut ps, Mac::OpeningAngle { theta }, 1e-4);
+        let med = percentile(errs, 0.5);
+        assert!(med < last, "θ = {theta}: error {med} must shrink");
+        last = med;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On arbitrary random clouds (uniform cube, varying N), the tree
+    /// force with a tight MAC approximates the direct force.
+    #[test]
+    fn prop_tree_matches_direct_on_random_clouds(
+        seed in 0u64..1000,
+        n in 64usize..400,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParticleSet::with_capacity(n);
+        for _ in 0..n {
+            ps.push(
+                Vec3::new(rng.random::<f32>() * 10.0, rng.random::<f32>() * 10.0, rng.random::<f32>() * 10.0),
+                Vec3::ZERO,
+                rng.random::<f32>() + 0.1,
+            );
+        }
+        let (errs, _) = tree_vs_direct(
+            &mut ps,
+            Mac::Acceleration { delta_acc: 2.0f32.powi(-14) },
+            1e-3,
+        );
+        let med = percentile(errs, 0.5);
+        prop_assert!(med < 1e-2, "median error {med}");
+    }
+
+    /// Tree invariants hold for arbitrary distributions, including
+    /// pathological ones (clustered, planar, collinear).
+    #[test]
+    fn prop_tree_invariants_hold(
+        seed in 0u64..1000,
+        n in 2usize..600,
+        flatten_axis in 0usize..4,
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParticleSet::with_capacity(n);
+        for _ in 0..n {
+            let p = Vec3::new(rng.random(), rng.random(), rng.random());
+            // Degenerate geometries: squash axes to a plane or a line.
+            let p = match flatten_axis {
+                0 => Vec3::new(0.5, p.y, p.z),
+                1 => Vec3::new(p.x, 0.5, p.z),
+                2 => Vec3::new(0.5, 0.5, p.z),
+                _ => p,
+            };
+            ps.push(p, Vec3::ZERO, 1.0);
+        }
+        let cfg = BuildConfig { leaf_cap: 8 };
+        let mut tree = build_tree(&mut ps, &cfg);
+        prop_assert!(tree.check_invariants(8).is_ok());
+        calc_node(&mut tree, &ps.pos, &ps.mass);
+        // Mass conservation at the root.
+        let total = ps.total_mass();
+        prop_assert!(((tree.mass[0] as f64 - total) / total).abs() < 1e-4);
+        // Every particle is inside the root bmax sphere.
+        for i in 0..ps.len() {
+            let d = (ps.pos[i] - tree.com[0]).norm();
+            prop_assert!(d <= tree.bmax[0] * 1.0001 + 1e-6);
+        }
+    }
+
+    /// The energy error of a short integration shrinks when the time
+    /// step shrinks (2nd-order integrator sanity over random clusters).
+    #[test]
+    fn prop_smaller_steps_conserve_better(seed in 0u64..50) {
+        use gothic::galaxy::plummer_model;
+        use gothic::nbody::direct::self_gravity;
+        use gothic::nbody::energy::measure;
+        use gothic::nbody::integrator::step_shared;
+
+        let eps2 = 1e-3f32;
+        let run = |dt: f32, steps: usize| -> f64 {
+            let mut ps = plummer_model(256, 1.0, 1.0, seed);
+            self_gravity(&mut ps, eps2);
+            let e0 = measure(&ps, eps2);
+            for _ in 0..steps {
+                step_shared(&mut ps, dt, |p| self_gravity(p, eps2));
+            }
+            let e1 = measure(&ps, eps2);
+            e1.relative_energy_drift(&e0)
+        };
+        // Same physical time, halved step. At N = 256 in f32 both drifts
+        // sit near the round-off floor, so allow an absolute tolerance on
+        // top of the truncation-order comparison.
+        let coarse = run(0.02, 50);
+        let fine = run(0.01, 100);
+        prop_assert!(coarse < 1e-3, "coarse drift {coarse}");
+        prop_assert!(fine < (coarse * 1.5).max(5e-5),
+            "fine {fine} should not be much worse than coarse {coarse}");
+    }
+}
