@@ -70,20 +70,15 @@ fn bench_walk(c: &mut Criterion) {
         let mut ps = fixture(n);
         let mut tree = build_tree(&mut ps, &BuildConfig::default());
         calc_node(&mut tree, &ps.pos, &ps.mass);
-        let cfg = WalkConfig { mac: Mac::fiducial(), eps2: 1e-4, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            mac: Mac::fiducial(),
+            eps2: 1e-4,
+            ..WalkConfig::default()
+        };
         let active: Vec<u32> = (0..n as u32).collect();
         let a_old = vec![1.0f32; n];
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                walk_tree(
-                    black_box(&tree),
-                    &ps.pos,
-                    &ps.mass,
-                    &a_old,
-                    &active,
-                    &cfg,
-                )
-            })
+            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
         });
     }
     group.finish();

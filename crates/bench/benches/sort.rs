@@ -6,7 +6,10 @@ use rand::prelude::*;
 
 fn keys(n: usize, seed: u64) -> (Vec<u64>, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    ((0..n).map(|_| rng.random::<u64>() >> 1).collect(), (0..n as u32).collect())
+    (
+        (0..n).map(|_| rng.random::<u64>() >> 1).collect(),
+        (0..n as u32).collect(),
+    )
 }
 
 fn bench_radix_vs_std(c: &mut Criterion) {

@@ -1,0 +1,67 @@
+//! Overhead of the telemetry layer when disabled (the configuration every
+//! production run pays for): a disabled counter bump must be a relaxed
+//! load + branch, and a disabled span must not read the clock.
+//!
+//! Compare `workload/bare` against `workload/counter_disabled` — the gap
+//! is the compiled-in cost of instrumentation with collection switched
+//! off (budget: <2%, see EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use telemetry::metrics::counters::WALK_INTERACTIONS;
+
+fn counter_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter");
+    telemetry::disable_all();
+    g.bench_function("add_disabled", |b| {
+        b.iter(|| WALK_INTERACTIONS.add(black_box(1)))
+    });
+    telemetry::set_metrics_enabled(true);
+    g.bench_function("add_enabled", |b| {
+        b.iter(|| WALK_INTERACTIONS.add(black_box(1)))
+    });
+    telemetry::disable_all();
+    telemetry::metrics::reset_all();
+    g.finish();
+}
+
+fn span_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span");
+    telemetry::disable_all();
+    g.bench_function("guard_disabled", |b| {
+        b.iter(|| {
+            let _s = telemetry::span(black_box("bench phase"));
+        })
+    });
+    g.finish();
+}
+
+/// A small arithmetic kernel with one counter bump per iteration — the
+/// densest instrumentation the workspace has (per-pass sort counters).
+fn instrumented_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+    telemetry::disable_all();
+    g.bench_function("counter_disabled", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
+                WALK_INTERACTIONS.add(1);
+            }
+            acc
+        })
+    });
+    telemetry::metrics::reset_all();
+    g.finish();
+}
+
+criterion_group!(benches, counter_paths, span_paths, instrumented_workload);
+criterion_main!(benches);

@@ -22,13 +22,17 @@ fn bench_walk_vs_accuracy(c: &mut Criterion) {
     let a_old = vec![1.0f32; n];
     for exp in [1i32, 6, 9, 14] {
         let cfg = WalkConfig {
-            mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            mac: Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-exp),
+            },
             eps2: 1e-4,
             ..WalkConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^-{exp}")), &exp, |b, _| {
-            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^-{exp}")),
+            &exp,
+            |b, _| b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)),
+        );
     }
     group.finish();
 }
@@ -44,7 +48,11 @@ fn bench_walk_mac_flavours(c: &mut Criterion) {
         ("opening_angle_0.5", Mac::OpeningAngle { theta: 0.5 }),
         ("acceleration_2^-9", Mac::fiducial()),
     ] {
-        let cfg = WalkConfig { mac, eps2: 1e-4, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            mac,
+            eps2: 1e-4,
+            ..WalkConfig::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
         });
@@ -62,7 +70,12 @@ fn bench_walk_list_capacity(c: &mut Criterion) {
     let active: Vec<u32> = (0..n as u32).collect();
     let a_old = vec![1.0f32; n];
     for cap in [32usize, 256, 1024] {
-        let cfg = WalkConfig { mac: Mac::fiducial(), eps2: 1e-4, list_cap: cap, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            mac: Mac::fiducial(),
+            eps2: 1e-4,
+            list_cap: cap,
+            ..WalkConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
             b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
         });

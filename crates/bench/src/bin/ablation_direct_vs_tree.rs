@@ -81,5 +81,8 @@ fn main() {
         "# Direct-method V100/P100 speed-up = {sp_d:.2} ≈ peak ratio {peak_ratio:.2}: no integer"
     );
     println!("#   work to hide (§4.2) — the above-peak speed-up is a tree-method property.");
-    assert!((sp_d - peak_ratio).abs() < 0.15, "direct method must track the peak ratio");
+    assert!(
+        (sp_d - peak_ratio).abs() < 0.15,
+        "direct method must track the peak ratio"
+    );
 }

@@ -26,7 +26,11 @@ fn main() {
     calc_node(&mut tree, &ps.pos, &ps.mass);
     let active: Vec<u32> = (0..n as u32).collect();
     let a_old = vec![1.0 as Real; n];
-    let cfg = WalkConfig { mac: Mac::fiducial(), eps2: 1e-4, ..WalkConfig::default() };
+    let cfg = WalkConfig {
+        mac: Mac::fiducial(),
+        eps2: 1e-4,
+        ..WalkConfig::default()
+    };
 
     let group = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg);
     let indiv = walk_tree_individual(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg);
@@ -37,19 +41,44 @@ fn main() {
     );
     let rows = [
         ("traversals", group.events.groups, indiv.events.groups),
-        ("MAC evaluations", group.events.mac_evals, indiv.events.mac_evals),
-        ("queue rounds", group.events.queue_rounds, indiv.events.queue_rounds),
-        ("list pushes", group.events.list_pushes, indiv.events.list_pushes),
-        ("interactions", group.events.interactions, indiv.events.interactions),
+        (
+            "MAC evaluations",
+            group.events.mac_evals,
+            indiv.events.mac_evals,
+        ),
+        (
+            "queue rounds",
+            group.events.queue_rounds,
+            indiv.events.queue_rounds,
+        ),
+        (
+            "list pushes",
+            group.events.list_pushes,
+            indiv.events.list_pushes,
+        ),
+        (
+            "interactions",
+            group.events.interactions,
+            indiv.events.interactions,
+        ),
     ];
     for (name, g, i) in rows {
-        println!("{:<26} {:>16} {:>16} {:>10.2}", name, g, i, g as f64 / i.max(1) as f64);
+        println!(
+            "{:<26} {:>16} {:>16} {:>10.2}",
+            name,
+            g,
+            i,
+            g as f64 / i.max(1) as f64
+        );
     }
 
     // Price both at the paper scale on V100.
     let v100 = GpuArch::tesla_v100();
     let price = |ev: gothic::gpu_model::WalkEvents| {
-        let step = StepEvents { walk: ev, ..Default::default() };
+        let step = StepEvents {
+            walk: ev,
+            ..Default::default()
+        };
         let ops = step.scaled_to(n as u64, 1 << 23).walk.to_ops(false);
         (
             kernel_time(&v100, ExecMode::PascalMode, GridBarrier::LockFree, &ops).total,

@@ -10,7 +10,12 @@ use gothic::nbody::integrator::step_shared;
 use gothic::nbody::leapfrog::step_kdk;
 use gothic::nbody::ParticleSet;
 
-fn drift(label: &str, mut stepper: impl FnMut(&mut ParticleSet, f32), dt: f32, steps: usize) -> f64 {
+fn drift(
+    label: &str,
+    mut stepper: impl FnMut(&mut ParticleSet, f32),
+    dt: f32,
+    steps: usize,
+) -> f64 {
     let eps2 = 1e-3f32;
     let mut ps = plummer_model(2048, 100.0, 1.0, 2024);
     self_gravity(&mut ps, eps2);
@@ -59,7 +64,10 @@ fn main() {
         "#   PEC convergence factor at dt/2 = {:.2} (ideal 4.0, floor-limited)",
         d_pec / d_pec_fine.max(1e-12)
     );
-    assert!(d_pec < 1e-3 && d_kdk < 1e-3, "both schemes must conserve energy");
+    assert!(
+        d_pec < 1e-3 && d_kdk < 1e-3,
+        "both schemes must conserve energy"
+    );
     assert!(
         d_pec < 20.0 * d_kdk.max(1e-9) && d_kdk < 20.0 * d_pec.max(1e-9),
         "schemes must be within an order of magnitude of each other"

@@ -52,7 +52,10 @@ fn main() {
         let ev: WalkEvents = res.events;
         // Price at the paper's scale so the lever is visible above fixed
         // kernel overheads.
-        let step = gothic::StepEvents { walk: ev, ..Default::default() };
+        let step = gothic::StepEvents {
+            walk: ev,
+            ..Default::default()
+        };
         let ops = step.scaled_to(n as u64, 1 << 23).walk.to_ops(false);
         let t = gothic::gpu_model::kernel_time(
             &v100,

@@ -31,11 +31,18 @@ fn evaluate(ps: &mut ParticleSet, mac: Mac) -> (f64, f64) {
     let (dacc, _) = direct_parallel(&ps.pos, &sources, eps2);
     let a_old: Vec<Real> = dacc.iter().map(|a| a.norm()).collect();
 
-    let res = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &WalkConfig {
-        mac,
-        eps2,
-        ..WalkConfig::default()
-    });
+    let res = walk_tree(
+        &tree,
+        &ps.pos,
+        &ps.mass,
+        &a_old,
+        &active,
+        &WalkConfig {
+            mac,
+            eps2,
+            ..WalkConfig::default()
+        },
+    );
     let mut errs: Vec<f64> = (0..n)
         .map(|i| ((res.acc[i] - dacc[i]).norm() / dacc[i].norm().max(1e-12)) as f64)
         .collect();
@@ -53,13 +60,26 @@ fn main() {
     println!("# Ablation — MAC Pareto front (M31 model, 99th-percentile relative force error");
     println!("#            vs interactions per particle; direct sum as oracle)");
     let n = 4096;
-    println!("\n{:<28} {:>14} {:>16}", "criterion", "p99 error", "inter/particle");
+    println!(
+        "\n{:<28} {:>14} {:>16}",
+        "criterion", "p99 error", "inter/particle"
+    );
 
     let mut accel_front = Vec::new();
     for exp in [3i32, 5, 7, 9, 11, 13] {
         let mut ps = m31_particles(n);
-        let (err, work) = evaluate(&mut ps, Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) });
-        println!("{:<28} {:>14.3e} {:>16.1}", format!("acceleration 2^-{exp}"), err, work);
+        let (err, work) = evaluate(
+            &mut ps,
+            Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-exp),
+            },
+        );
+        println!(
+            "{:<28} {:>14.3e} {:>16.1}",
+            format!("acceleration 2^-{exp}"),
+            err,
+            work
+        );
         accel_front.push((err, work));
     }
     println!();
@@ -67,7 +87,12 @@ fn main() {
     for theta in [1.0f32, 0.8, 0.6, 0.4, 0.3, 0.2] {
         let mut ps = m31_particles(n);
         let (err, work) = evaluate(&mut ps, Mac::OpeningAngle { theta });
-        println!("{:<28} {:>14.3e} {:>16.1}", format!("opening angle θ={theta}"), err, work);
+        println!(
+            "{:<28} {:>14.3e} {:>16.1}",
+            format!("opening angle θ={theta}"),
+            err,
+            work
+        );
         theta_front.push((err, work));
     }
 
@@ -95,5 +120,8 @@ fn main() {
     println!(
         "# Paper §1 claim (acceleration MAC is cheaper at equal accuracy): {wins}/{comparisons} points dominated"
     );
-    assert!(wins * 2 >= comparisons, "acceleration MAC should dominate most of the front");
+    assert!(
+        wins * 2 >= comparisons,
+        "acceleration MAC should dominate most of the front"
+    );
 }

@@ -34,7 +34,13 @@ fn calcnode_like(grid_dim: u32, n_syncs: u32, lockfree: bool) -> Program {
     let scratch = [Reg(4), Reg(5), Reg(6), Reg(7)];
     let acc = Reg(8);
     let one = Reg(9);
-    let regs = BarrierRegs { tid, bid, grid_dim: gd, goal, scratch };
+    let regs = BarrierRegs {
+        tid,
+        bid,
+        grid_dim: gd,
+        goal,
+        scratch,
+    };
     let mut body = vec![
         Stmt::Op(Op::ThreadId(tid)),
         Stmt::Op(Op::BlockId(bid)),
@@ -74,7 +80,11 @@ fn main() {
         cycles[i] = stats.max_warp_cycles;
         println!(
             "interpreter: {:<18} {:>10} issue cycles (21 grid barriers, {} blocks)",
-            if lockfree { "lock-free barrier" } else { "grid.sync()" },
+            if lockfree {
+                "lock-free barrier"
+            } else {
+                "grid.sync()"
+            },
             stats.max_warp_cycles,
             grid_dim
         );
@@ -89,11 +99,19 @@ fn main() {
     let v100 = GpuArch::tesla_v100();
     let occ_56 = occupancy(
         &v100,
-        &BlockResources { threads: 128, regs_per_thread: 56, shared_bytes: 0 },
+        &BlockResources {
+            threads: 128,
+            regs_per_thread: 56,
+            shared_bytes: 0,
+        },
     );
     let occ_64 = occupancy(
         &v100,
-        &BlockResources { threads: 128, regs_per_thread: 64, shared_bytes: 0 },
+        &BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            shared_bytes: 0,
+        },
     );
     println!(
         "occupancy: 56 regs/thread -> {} blocks/SM (paper: 9); 64 regs -> {} (paper: 8)",
@@ -109,9 +127,14 @@ fn main() {
     let base = kernel_time(&v100, ExecMode::PascalMode, GridBarrier::LockFree, &ops).total;
     let case1 = base; // original: lock-free, 56 regs
     let case3 = base * occ_penalty; // device-link build, original barrier, 64 regs
-    let case2 =
-        kernel_time(&v100, ExecMode::PascalMode, GridBarrier::CooperativeGroups, &ops).total
-            * occ_penalty; // CG barrier + 64 regs
+    let case2 = kernel_time(
+        &v100,
+        ExecMode::PascalMode,
+        GridBarrier::CooperativeGroups,
+        &ops,
+    )
+    .total
+        * occ_penalty; // CG barrier + 64 regs
     println!();
     println!("calcNode modeled times (events extrapolated to N = 2^23):");
     println!("  case 1 (original, lock-free, 56 regs):      {case1:.4e} s   (paper 4.0e-3)");

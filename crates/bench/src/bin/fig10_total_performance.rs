@@ -10,8 +10,8 @@
 //! calcNode's accuracy-independent cost weighs more at loose accuracy.
 
 use bench::{
-    default_barrier, delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc,
-    m31_particles, measure, BenchScale, PAPER_N,
+    default_barrier, delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles,
+    measure, BenchScale, PAPER_N,
 };
 use gothic::gpu_model::{ExecMode, GpuArch, OpCounts};
 use gothic::Function;

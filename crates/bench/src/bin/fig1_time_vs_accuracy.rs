@@ -7,10 +7,10 @@
 //! with Δacc and flatten in the loose-accuracy regime.
 
 use bench::{
-    price_paper_scale,
     default_barrier, delta_acc_sweep, fig1_configs, figure_header, fmt_dacc, m31_particles,
-    measure, BenchScale,
+    measure, price_paper_scale, BenchScale,
 };
+use telemetry::json::JsonObject;
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -18,6 +18,7 @@ fn main() {
         "Figure 1 — elapsed time per step vs accuracy parameter",
         &scale,
     );
+    let mut report = bench::report("fig1_time_vs_accuracy", &scale);
 
     let configs = fig1_configs();
     print!("{:>8}", "dacc");
@@ -31,11 +32,15 @@ fn main() {
         let run = measure(m31_particles(scale.n), dacc, &scale, None);
         print!("{:>8}", fmt_dacc(dacc));
         let mut row = Vec::new();
-        for (_, arch, mode) in &configs {
+        let mut jrow = JsonObject::new();
+        jrow.f64("dacc", dacc as f64);
+        for (name, arch, mode) in &configs {
             let p = price_paper_scale(&run, arch, *mode, default_barrier());
             row.push(p.total_seconds());
+            jrow.f64(name, p.total_seconds());
             print!("  {:>28.4e}", p.total_seconds());
         }
+        report.add_row(jrow);
         println!();
         if (dacc - 2.0f32.powi(-9)).abs() < 1e-9 {
             fiducial_row = Some(row);
@@ -47,9 +52,7 @@ fn main() {
     println!("#   V100 Pascal mode 3.3e-2 s | V100 Volta mode 3.8e-2 s | P100 7.4e-2 s");
     if let Some(row) = fiducial_row {
         // Columns: [v100 pascal, v100 volta, p100, titanx, k20x, m2090]
-        println!(
-            "# Measured shape checks at 2^-9 (scaled N — compare RATIOS, not absolutes):"
-        );
+        println!("# Measured shape checks at 2^-9 (scaled N — compare RATIOS, not absolutes):");
         println!(
             "#   Pascal-mode gain (paper 3.8/3.3 = 1.15): {:.3}",
             row[1] / row[0]
@@ -63,4 +66,5 @@ fn main() {
             row[5] / row[0]
         );
     }
+    bench::write_report(&report);
 }

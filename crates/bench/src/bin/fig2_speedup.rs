@@ -8,9 +8,8 @@
 //! and exceeding the 1.5× theoretical-peak ratio there.
 
 use bench::{
-    price_paper_scale,
     default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
-    BenchScale,
+    price_paper_scale, BenchScale,
 };
 use gothic::gpu_model::{ExecMode, GpuArch};
 
@@ -31,9 +30,12 @@ fn main() {
     let mut mode_band = (f64::INFINITY, 0.0f64);
     for dacc in delta_acc_sweep() {
         let run = measure(m31_particles(scale.n), dacc, &scale, None);
-        let t_pm = price_paper_scale(&run, &v100, ExecMode::PascalMode, default_barrier()).total_seconds();
-        let t_vm = price_paper_scale(&run, &v100, ExecMode::VoltaMode, default_barrier()).total_seconds();
-        let t_p100 = price_paper_scale(&run, &p100, ExecMode::PascalMode, default_barrier()).total_seconds();
+        let t_pm =
+            price_paper_scale(&run, &v100, ExecMode::PascalMode, default_barrier()).total_seconds();
+        let t_vm =
+            price_paper_scale(&run, &v100, ExecMode::VoltaMode, default_barrier()).total_seconds();
+        let t_p100 =
+            price_paper_scale(&run, &p100, ExecMode::PascalMode, default_barrier()).total_seconds();
         let s_mode = t_vm / t_pm;
         let s_p100 = t_p100 / t_pm;
         println!("{:>8}  {:>26.3}  {:>22.3}", fmt_dacc(dacc), s_mode, s_p100);

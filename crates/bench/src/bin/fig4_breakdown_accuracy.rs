@@ -8,9 +8,8 @@
 //! (loose accuracy).
 
 use bench::{
-    price_paper_scale,
     default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
-    BenchScale,
+    price_paper_scale, BenchScale,
 };
 use gothic::gpu_model::{ExecMode, GpuArch};
 
@@ -49,8 +48,15 @@ fn main() {
     println!();
     // Sweep is loose → tight: tight-accuracy walk must cost more.
     let loose = walk_first.unwrap();
-    let spread = calc_series.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / calc_series.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-30);
+    let spread = calc_series
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        / calc_series
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-30);
     println!("# Paper shapes: walkTree grows as dacc tightens — measured 2^-1 {loose:.3e} s vs 2^-20 {walk_last:.3e} s: {}",
         if walk_last > loose { "OK" } else { "MISMATCH" });
     println!(

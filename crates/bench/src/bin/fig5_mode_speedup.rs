@@ -8,17 +8,19 @@
 //! intra-warp synchronization at all).
 
 use bench::{
-    price_paper_scale,
     default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
-    BenchScale,
+    price_paper_scale, BenchScale,
 };
 use gothic::gpu_model::{ExecMode, GpuArch};
 use gothic::Function;
+use telemetry::json::JsonObject;
 
 fn main() {
     let scale = BenchScale::from_env();
     figure_header("Figure 5 — Pascal-mode speed-up per function", &scale);
     let v100 = GpuArch::tesla_v100();
+    let mut report = bench::report("fig5_mode_speedup", &scale);
+    report.meta_str("arch", v100.name);
 
     println!(
         "{:>8}  {:>10}  {:>10}  {:>10}  {:>10}",
@@ -42,8 +44,8 @@ fn main() {
         let g_walk = gain(Function::WalkTree);
         let g_calc = gain(Function::CalcNode);
         let g_make = gain(Function::MakeTree);
-        let g_int = (vm.predict.seconds + vm.correct.seconds)
-            / (pm.predict.seconds + pm.correct.seconds);
+        let g_int =
+            (vm.predict.seconds + vm.correct.seconds) / (pm.predict.seconds + pm.correct.seconds);
         println!(
             "{:>8}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}",
             fmt_dacc(dacc),
@@ -54,6 +56,13 @@ fn main() {
         );
         walk_gains.push(g_walk);
         calc_gains.push(g_calc);
+        let mut jrow = JsonObject::new();
+        jrow.f64("dacc", dacc as f64)
+            .f64("walk_tree", g_walk)
+            .f64("calc_node", g_calc)
+            .f64("make_tree", g_make)
+            .f64("integrate", g_int);
+        report.add_row(jrow);
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -68,4 +77,8 @@ fn main() {
         "# calcNode gain exceeds walkTree gain (paper ordering): {}",
         mean(&calc_gains) > mean(&walk_gains)
     );
+    report
+        .meta_f64("mean_walk_gain", mean(&walk_gains))
+        .meta_f64("mean_calc_gain", mean(&calc_gains));
+    bench::write_report(&report);
 }

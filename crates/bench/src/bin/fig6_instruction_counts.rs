@@ -7,11 +7,17 @@
 //! reciprocal-square-root (special) counts are nearly tenfold smaller
 //! than FMA; every series decreases as the accuracy is loosened.
 
-use bench::{delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles, measure, BenchScale, PAPER_N};
+use bench::{
+    delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles, measure,
+    BenchScale, PAPER_N,
+};
 
 fn main() {
     let scale = BenchScale::from_env();
-    figure_header("Figure 6 — walkTree instruction counts (nvprof metrics)", &scale);
+    figure_header(
+        "Figure 6 — walkTree instruction counts (nvprof metrics)",
+        &scale,
+    );
     println!("# counts extrapolated to the paper's N = 2^23 (paper range: ~1e9 .. ~1e12)");
     println!("# fixed rebuild interval (auto-tuner disabled), as in the paper's nvprof runs");
 

@@ -6,7 +6,10 @@
 //! (what a unified-pipe GPU must execute on one unit) sits visibly above
 //! — the gap is exactly the integer work Volta can hide (§4.2).
 
-use bench::{delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles, measure, BenchScale, PAPER_N};
+use bench::{
+    delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles, measure,
+    BenchScale, PAPER_N,
+};
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -10,9 +10,8 @@
 //! regime — which our timing model captures; compare with fig2).
 
 use bench::{
-    extrapolate_events, price_paper_scale, PAPER_N,
-    default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
-    BenchScale,
+    default_barrier, delta_acc_sweep, extrapolate_events, figure_header, fmt_dacc, m31_particles,
+    measure, price_paper_scale, BenchScale, PAPER_N,
 };
 use gothic::gpu_model::{predict_speedup, ExecMode, GpuArch};
 

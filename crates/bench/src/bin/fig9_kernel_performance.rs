@@ -9,9 +9,8 @@
 //! workload deteriorates the sustained performance).
 
 use bench::{
-    price_paper_scale,
     default_barrier, delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure,
-    BenchScale,
+    price_paper_scale, BenchScale,
 };
 use gothic::gpu_model::{sustained_tflops, ExecMode, GpuArch};
 

@@ -8,7 +8,9 @@
 //! collapses — the disagreement between Fig. 8's model and Fig. 2's
 //! measurement).
 
-use bench::{delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure, BenchScale, PAPER_N};
+use bench::{
+    delta_acc_sweep, figure_header, fmt_dacc, m31_particles, measure, BenchScale, PAPER_N,
+};
 use gothic::gpu_model::{kernel_time, Bound, ExecMode, GpuArch, GridBarrier};
 
 fn bound_name(b: Bound) -> &'static str {
@@ -24,7 +26,11 @@ fn bound_name(b: Bound) -> &'static str {
 fn main() {
     let scale = BenchScale::from_env();
     figure_header("Roofline report — binding resource per function", &scale);
-    let archs = [GpuArch::tesla_v100(), GpuArch::tesla_p100(), GpuArch::tesla_k20x()];
+    let archs = [
+        GpuArch::tesla_v100(),
+        GpuArch::tesla_p100(),
+        GpuArch::tesla_k20x(),
+    ];
 
     println!(
         "\n{:>8}  {:>24}  {:>24}  {:>24}",

@@ -8,8 +8,10 @@
 //! figure depends on.
 
 use gothic::gpu_model::{capacity, GpuArch, IntPipe};
+use telemetry::json::JsonObject;
 
 fn main() {
+    let mut report = telemetry::RunReport::new("table1_environments");
     println!("# Table 1 — environments (GPU rows; hosts orchestrate only)");
     println!(
         "{:<26} {:>8} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}",
@@ -31,6 +33,17 @@ fn main() {
             arch.mem_bw_gbs,
             pipe
         );
+        let mut jrow = JsonObject::new();
+        jrow.str("gpu", arch.name)
+            .u64("sms", arch.n_sm as u64)
+            .u64("cores", (arch.n_sm * arch.fp32_per_sm) as u64)
+            .f64("clock_ghz", arch.clock_ghz)
+            .f64("peak_sp_tflops", arch.peak_sp_tflops())
+            .f64("mem_gib", arch.global_mem_gib)
+            .f64("mem_bw_gbs", arch.mem_bw_gbs)
+            .str("int_pipe", pipe)
+            .u64("max_particles", capacity::max_particles(&arch));
+        report.add_row(jrow);
     }
     println!();
     println!("# Paper Table 1 reference: V100 (SXM2) 5120 cores @ 1.530 GHz, 16 GB HBM2;");
@@ -52,4 +65,9 @@ fn main() {
         capacity::max_particles(&v100),
         capacity::max_particles(&p100)
     );
+    report.meta_f64(
+        "peak_ratio_v100_p100",
+        v100.peak_sp_tflops() / p100.peak_sp_tflops(),
+    );
+    bench::write_report(&report);
 }

@@ -129,7 +129,11 @@ fn optimum(arch: &GpuArch, m: &FnModel) -> (u32, String, f64) {
             };
             // Modeled time per element, up to a constant.
             let cost = cycles / (ttot as f64 * occ.blocks_per_sm as f64);
-            let tsub_label = if tsub == 0 { "-".to_string() } else { tsub.to_string() };
+            let tsub_label = if tsub == 0 {
+                "-".to_string()
+            } else {
+                tsub.to_string()
+            };
             if best.as_ref().map(|b| cost < b.2).unwrap_or(true) {
                 best = Some((ttot, tsub_label, cost));
             }
@@ -139,6 +143,8 @@ fn optimum(arch: &GpuArch, m: &FnModel) -> (u32, String, f64) {
 }
 
 fn main() {
+    // Count the interpreter work (syncwarps, shuffles) into the report.
+    telemetry::set_metrics_enabled(true);
     println!("# Table 2 — optimal thread-block configuration per function");
     println!("# cost model: simt-interpreter block makespan / (Ttot x blocks-per-SM)");
     println!();
@@ -148,10 +154,19 @@ fn main() {
     );
     println!(
         "{:<10} | {:>6} {:>6} {:>12} {:>12} | {:>6} {:>6} {:>12} {:>12}",
-        "function", "Ttot", "Tsub", "paper Ttot", "paper Tsub", "Ttot", "Tsub", "paper Ttot", "paper Tsub"
+        "function",
+        "Ttot",
+        "Tsub",
+        "paper Ttot",
+        "paper Tsub",
+        "Ttot",
+        "Tsub",
+        "paper Ttot",
+        "paper Tsub"
     );
     let v100 = GpuArch::tesla_v100();
     let p100 = GpuArch::tesla_p100();
+    let mut report = telemetry::RunReport::new("table2_block_config");
     let mut matches = 0;
     let mut total = 0;
     for m in models() {
@@ -161,6 +176,15 @@ fn main() {
             "{:<10} | {:>6} {:>6} {:>12} {:>12} | {:>6} {:>6} {:>12} {:>12}",
             m.name, tv, sv, m.paper.0 .0, m.paper.0 .1, tp, sp, m.paper.1 .0, m.paper.1 .1
         );
+        let mut jrow = telemetry::json::JsonObject::new();
+        jrow.str("function", m.name)
+            .u64("v100_ttot", tv as u64)
+            .str("v100_tsub", &sv)
+            .u64("v100_paper_ttot", m.paper.0 .0 as u64)
+            .u64("p100_ttot", tp as u64)
+            .str("p100_tsub", &sp)
+            .u64("p100_paper_ttot", m.paper.1 .0 as u64);
+        report.add_row(jrow);
         total += 2;
         matches += (tv == m.paper.0 .0) as u32 + (tp == m.paper.1 .0) as u32;
     }
@@ -168,4 +192,8 @@ fn main() {
     println!("# Paper Table 2: walkTree 512/32 on both GPUs; calcNode 128/32 (V100) vs");
     println!("#   256/16 (P100); makeTree 512/8; predict 512/-; correct 512/32.");
     println!("# Ttot agreement with the paper: {matches}/{total} cells.");
+    report
+        .meta_u64("ttot_matches", matches as u64)
+        .meta_u64("ttot_cells", total as u64);
+    bench::write_report(&report);
 }

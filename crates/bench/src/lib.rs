@@ -32,7 +32,10 @@ pub struct BenchScale {
 impl BenchScale {
     pub fn from_env() -> Self {
         let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         BenchScale {
             n: get("GOTHIC_BENCH_N", 8192) as usize,
@@ -45,7 +48,9 @@ impl BenchScale {
 /// The Δacc sweep of Figs. 1–2 (2⁻¹ … 2⁻²⁰; a coarse default subset keeps
 /// the runtime reasonable, `GOTHIC_BENCH_FULL_SWEEP=1` uses every power).
 pub fn delta_acc_sweep() -> Vec<f32> {
-    let full = std::env::var("GOTHIC_BENCH_FULL_SWEEP").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("GOTHIC_BENCH_FULL_SWEEP")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let exps: Vec<i32> = if full {
         (1..=20).collect()
     } else {
@@ -187,10 +192,10 @@ impl EventAcc {
             *slot += v as f64;
         }
         let c = &ev.calc;
-        for (slot, v) in self
-            .calc
-            .iter_mut()
-            .zip([c.nodes, c.child_accumulations, c.levels, c.grid_syncs])
+        for (slot, v) in
+            self.calc
+                .iter_mut()
+                .zip([c.nodes, c.child_accumulations, c.levels, c.grid_syncs])
         {
             *slot += v as f64;
         }
@@ -268,16 +273,59 @@ pub fn fig1_configs() -> Vec<(String, GpuArch, ExecMode)> {
             GpuArch::tesla_v100(),
             ExecMode::VoltaMode,
         ),
-        ("Tesla P100 (SXM2)".into(), GpuArch::tesla_p100(), ExecMode::PascalMode),
-        ("GeForce GTX TITAN X".into(), GpuArch::gtx_titan_x(), ExecMode::PascalMode),
-        ("Tesla K20X".into(), GpuArch::tesla_k20x(), ExecMode::PascalMode),
-        ("Tesla M2090".into(), GpuArch::tesla_m2090(), ExecMode::PascalMode),
+        (
+            "Tesla P100 (SXM2)".into(),
+            GpuArch::tesla_p100(),
+            ExecMode::PascalMode,
+        ),
+        (
+            "GeForce GTX TITAN X".into(),
+            GpuArch::gtx_titan_x(),
+            ExecMode::PascalMode,
+        ),
+        (
+            "Tesla K20X".into(),
+            GpuArch::tesla_k20x(),
+            ExecMode::PascalMode,
+        ),
+        (
+            "Tesla M2090".into(),
+            GpuArch::tesla_m2090(),
+            ExecMode::PascalMode,
+        ),
     ]
 }
 
 /// Default barrier for pricing.
 pub fn default_barrier() -> GridBarrier {
     GridBarrier::LockFree
+}
+
+/// Start a structured run report for a table/figure binary, pre-filled
+/// with the scale metadata, with counter collection switched on so the
+/// report's `counters` section reflects the run.
+pub fn report(name: &str, scale: &BenchScale) -> telemetry::RunReport {
+    telemetry::set_metrics_enabled(true);
+    telemetry::metrics::reset_all();
+    let mut r = telemetry::RunReport::new(name);
+    r.meta_u64("n", scale.n as u64)
+        .meta_u64("steps", scale.steps)
+        .meta_u64("warmup", scale.warmup);
+    r
+}
+
+/// Write a report to `results/<name>.json` (set `GOTHIC_BENCH_NO_REPORT=1`
+/// to suppress, e.g. in read-only checkouts).
+pub fn write_report(r: &telemetry::RunReport) {
+    if std::env::var("GOTHIC_BENCH_NO_REPORT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return;
+    }
+    if let Err(e) = r.write() {
+        eprintln!("bench: cannot write results/{}.json: {e}", r.name());
+    }
 }
 
 #[cfg(test)]
@@ -312,7 +360,11 @@ mod tests {
     #[test]
     fn measure_small_run_smoke() {
         let ps = m31_particles(2048);
-        let scale = BenchScale { n: 2048, steps: 4, warmup: 1 };
+        let scale = BenchScale {
+            n: 2048,
+            steps: 4,
+            warmup: 1,
+        };
         let run = measure(ps, 2.0f32.powi(-6), &scale, None);
         assert!(run.mean_events.walk.interactions > 0);
         assert!(run.mean_active > 0.0);

@@ -16,6 +16,10 @@ mod scatter;
 
 pub use scatter::SyncWriteSlice;
 
+use telemetry::metrics::counters::{
+    SORT_CALLS, SORT_ELEMENTS, SORT_RADIX_PASSES, SORT_SKIPPED_PASSES,
+};
+
 /// Keys usable by the radix sort: fixed-width unsigned integers.
 pub trait RadixKey: Copy + Ord + Send + Sync {
     /// Number of 8-bit digit passes needed.
@@ -50,6 +54,8 @@ const RADIX: usize = 256;
 pub fn sort_pairs_serial<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
     assert_eq!(keys.len(), values.len());
     let n = keys.len();
+    SORT_CALLS.add(1);
+    SORT_ELEMENTS.add(n as u64);
     if n <= 1 {
         return;
     }
@@ -63,7 +69,10 @@ pub fn sort_pairs_serial<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) 
             (&keys_alt[..], &mut keys[..], &vals_alt[..], &mut values[..])
         };
         if sort_pass_serial(ksrc, kdst, vsrc, vdst, pass) {
+            SORT_RADIX_PASSES.add(1);
             flipped = !flipped;
+        } else {
+            SORT_SKIPPED_PASSES.add(1);
         }
     }
     if flipped {
@@ -123,6 +132,8 @@ pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
     if n < PAR_THRESHOLD {
         return sort_pairs_serial(keys, values);
     }
+    SORT_CALLS.add(1);
+    SORT_ELEMENTS.add(n as u64);
     let n_chunks = n.div_ceil(PAR_CHUNK);
     let mut keys_alt = vec![keys[0]; n];
     let mut vals_alt = vec![0u32; n];
@@ -155,8 +166,10 @@ pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
             }
         }
         if digit_totals.contains(&n) {
+            SORT_SKIPPED_PASSES.add(1);
             continue;
         }
+        SORT_RADIX_PASSES.add(1);
 
         // 2. Exclusive scan over (digit, chunk): the first write position
         //    of chunk c for digit d. Digit-major order preserves stability.

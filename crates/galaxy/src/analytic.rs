@@ -31,9 +31,10 @@ pub fn hernquist_df(mass: f64, a: f64, e: f64) -> f64 {
         return f64::INFINITY;
     }
     let one_m_q2 = 1.0 - q2;
-    let term = 3.0 * q.asin()
-        + q * one_m_q2.sqrt() * (1.0 - 2.0 * q2) * (8.0 * q2 * q2 - 8.0 * q2 - 3.0);
-    mass / (8.0 * std::f64::consts::SQRT_2
+    let term =
+        3.0 * q.asin() + q * one_m_q2.sqrt() * (1.0 - 2.0 * q2) * (8.0 * q2 * q2 - 8.0 * q2 - 3.0);
+    mass / (8.0
+        * std::f64::consts::SQRT_2
         * std::f64::consts::PI.powi(3)
         * a.powi(3)
         * vg2.powf(1.5))
@@ -127,7 +128,10 @@ mod tests {
         let samples = crate::eddington::sample_component(&h, &pot, &df, 6000, &mut rng);
         // Kinetic energy check (K = GM²/12a for Hernquist).
         let mp = m / samples.len() as f64;
-        let k: f64 = samples.iter().map(|(_, v)| 0.5 * mp * v.norm2() as f64).sum();
+        let k: f64 = samples
+            .iter()
+            .map(|(_, v)| 0.5 * mp * v.norm2() as f64)
+            .sum();
         let k_analytic = m * m / (12.0 * a);
         assert!(
             ((k - k_analytic) / k_analytic).abs() < 0.05,

@@ -23,12 +23,18 @@ pub struct ShellStats {
 
 /// Measure spherically-averaged shell statistics on log-spaced shells
 /// between `r_min` and `r_max` (shells with < 8 particles are skipped).
-pub fn radial_profile(ps: &ParticleSet, r_min: f64, r_max: f64, n_shells: usize) -> Vec<ShellStats> {
+pub fn radial_profile(
+    ps: &ParticleSet,
+    r_min: f64,
+    r_max: f64,
+    n_shells: usize,
+) -> Vec<ShellStats> {
     assert!(r_min > 0.0 && r_max > r_min && n_shells > 0);
     let log_lo = r_min.ln();
     let log_hi = r_max.ln();
-    let mut shells: Vec<(Vec<f64>, Vec<f64>, f64)> =
-        (0..n_shells).map(|_| (Vec::new(), Vec::new(), 0.0)).collect();
+    let mut shells: Vec<(Vec<f64>, Vec<f64>, f64)> = (0..n_shells)
+        .map(|_| (Vec::new(), Vec::new(), 0.0))
+        .collect();
 
     for i in 0..ps.len() {
         let p = ps.pos[i];
@@ -127,11 +133,20 @@ mod tests {
     #[test]
     fn measured_density_tracks_the_plummer_profile() {
         let ps = plummer_model(20_000, 1.0, 1.0, 3);
-        let target = Plummer { mass: 1.0, a: 1.0, rt: 100.0 };
+        let target = Plummer {
+            mass: 1.0,
+            a: 1.0,
+            rt: 100.0,
+        };
         for s in radial_profile(&ps, 0.2, 3.0, 8) {
             let want = target.density(s.r);
             let rel = ((s.density - want) / want).abs();
-            assert!(rel < 0.25, "r = {:.2}: measured {} vs target {want}", s.r, s.density);
+            assert!(
+                rel < 0.25,
+                "r = {:.2}: measured {} vs target {want}",
+                s.r,
+                s.density
+            );
         }
     }
 

@@ -104,7 +104,8 @@ impl ExponentialDisk {
             let sigma_z = (std::f64::consts::PI * self.surface_density(r) * self.zd).sqrt();
             // Asymmetric drift (first order): v̄_φ² = v_c² − σ_R²(2R/R_d −
             // 1 + κ²/(4Ω²)) … clamp at zero for the innermost radii.
-            let ad = sigma_r * sigma_r
+            let ad = sigma_r
+                * sigma_r
                 * (2.0 * r / self.rd - 1.0 + (kappa * kappa) / (4.0 * omega * omega));
             let v_phi_mean = (vc * vc - ad).max(0.0).sqrt();
 
@@ -178,7 +179,13 @@ mod tests {
     use rand::prelude::*;
 
     fn test_disk() -> ExponentialDisk {
-        ExponentialDisk { mass: 366.0, rd: 5.4, zd: 0.6, q_min: 1.8, rt: 35.0 }
+        ExponentialDisk {
+            mass: 366.0,
+            rd: 5.4,
+            zd: 0.6,
+            q_min: 1.8,
+            rt: 35.0,
+        }
     }
 
     fn host_potential(disk: &ExponentialDisk) -> CompositePotential {
@@ -211,7 +218,11 @@ mod tests {
         // Median of the exponential-disk mass profile: M(R)=M/2 at
         // R ≈ 1.678 R_d.
         let median = radii[radii.len() / 2];
-        assert!((median / d.rd - 1.678).abs() < 0.08, "median/Rd = {}", median / d.rd);
+        assert!(
+            (median / d.rd - 1.678).abs() < 0.08,
+            "median/Rd = {}",
+            median / d.rd
+        );
     }
 
     #[test]
@@ -263,7 +274,11 @@ mod tests {
         zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Median |z| of a sech² profile: z_d·atanh(1/2) ≈ 0.5493 z_d.
         let median = zs[zs.len() / 2];
-        assert!((median / d.zd - 0.5493).abs() < 0.06, "median|z|/zd = {}", median / d.zd);
+        assert!(
+            (median / d.zd - 0.5493).abs() < 0.06,
+            "median|z|/zd = {}",
+            median / d.zd
+        );
     }
 
     #[test]

@@ -62,8 +62,14 @@ impl CompositePotential {
         let mut outer = vec![0.0; N_GRID];
         for i in (0..N_GRID - 1).rev() {
             let (ra, rb) = (r[i], r[i + 1]);
-            let fa: f64 = components.iter().map(|c| 4.0 * std::f64::consts::PI * ra * c.density(ra)).sum();
-            let fb: f64 = components.iter().map(|c| 4.0 * std::f64::consts::PI * rb * c.density(rb)).sum();
+            let fa: f64 = components
+                .iter()
+                .map(|c| 4.0 * std::f64::consts::PI * ra * c.density(ra))
+                .sum();
+            let fb: f64 = components
+                .iter()
+                .map(|c| 4.0 * std::f64::consts::PI * rb * c.density(rb))
+                .sum();
             outer[i] = outer[i + 1] + 0.5 * (fa + fb) * (rb - ra);
         }
         let psi: Vec<f64> = (0..N_GRID).map(|i| mass[i] / r[i] + outer[i]).collect();
@@ -143,10 +149,10 @@ pub fn eddington_df(component: &dyn SphericalProfile, pot: &CompositePotential) 
     for i in 1..n - 1 {
         let h1 = psi[i - 1] - psi[i]; // > 0
         let h2 = psi[i] - psi[i + 1]; // > 0
-        // derivative with respect to ψ (ψ decreasing in i):
+                                      // derivative with respect to ψ (ψ decreasing in i):
         d1[i] = (rho[i - 1] - rho[i + 1]) / (h1 + h2);
-        d2[i] = 2.0 * (h2 * rho[i - 1] - (h1 + h2) * rho[i] + h1 * rho[i + 1])
-            / (h1 * h2 * (h1 + h2));
+        d2[i] =
+            2.0 * (h2 * rho[i - 1] - (h1 + h2) * rho[i] + h1 * rho[i + 1]) / (h1 * h2 * (h1 + h2));
     }
     d1[0] = d1[1];
     d1[n - 1] = d1[n - 2];
@@ -187,7 +193,11 @@ pub fn eddington_df(component: &dyn SphericalProfile, pot: &CompositePotential) 
             s += interp_d2(psi_v) * theta.sin();
         }
         s *= 2.0 * e.sqrt() * std::f64::consts::FRAC_PI_2 / n_theta as f64;
-        let boundary = if e > 0.0 { drho_dpsi_edge / e.sqrt() } else { 0.0 };
+        let boundary = if e > 0.0 {
+            drho_dpsi_edge / e.sqrt()
+        } else {
+            0.0
+        };
         f.push((c * (s + boundary)).max(0.0));
     }
     EddingtonDf { e: e_grid, f }
@@ -211,7 +221,9 @@ pub fn sample_component<R: Rng>(
     for _ in 0..n {
         // Radius.
         let u = rng.random::<f64>() * m_tot;
-        let i = m_comp.partition_point(|&m| m < u).clamp(1, grid_r.len() - 1);
+        let i = m_comp
+            .partition_point(|&m| m < u)
+            .clamp(1, grid_r.len() - 1);
         let (m0, m1) = (m_comp[i - 1], m_comp[i]);
         let t = if m1 > m0 { (u - m0) / (m1 - m0) } else { 0.5 };
         let r = grid_r[i - 1] * (1.0 - t) + grid_r[i] * t;
@@ -286,7 +298,11 @@ mod tests {
     #[test]
     fn composite_potential_is_sum_of_parts() {
         let a = Hernquist::new(50.0, 1.0, 500.0);
-        let b = Plummer { mass: 20.0, a: 3.0, rt: 500.0 };
+        let b = Plummer {
+            mass: 20.0,
+            a: 3.0,
+            rt: 500.0,
+        };
         let pa = CompositePotential::build(&[&a]);
         let pb = CompositePotential::build(&[&b]);
         let pab = CompositePotential::build(&[&a, &b]);
@@ -337,7 +353,11 @@ mod tests {
 
     #[test]
     fn sampled_radii_follow_mass_profile() {
-        let p = Plummer { mass: 1.0, a: 1.0, rt: 100.0 };
+        let p = Plummer {
+            mass: 1.0,
+            a: 1.0,
+            rt: 100.0,
+        };
         let pot = CompositePotential::build(&[&p]);
         let df = eddington_df(&p, &pot);
         let mut rng = StdRng::seed_from_u64(7);

@@ -35,7 +35,13 @@ impl M31Model {
             halo: Nfw::from_mass(8110.0, 7.63, R_TRUNC),
             stellar_halo: Sersic::new(80.0, 9.0, 2.2, R_TRUNC),
             bulge: Hernquist::new(324.0, 0.61, R_TRUNC),
-            disk: ExponentialDisk { mass: 366.0, rd: 5.4, zd: 0.6, q_min: 1.8, rt: 40.0 },
+            disk: ExponentialDisk {
+                mass: 366.0,
+                rd: 5.4,
+                zd: 0.6,
+                q_min: 1.8,
+                rt: 40.0,
+            },
         }
     }
 
@@ -93,6 +99,7 @@ impl M31Model {
 
         // Zero the centre of mass and the net momentum.
         zero_com(&mut ps);
+        telemetry::metrics::counters::GALAXY_SAMPLED_PARTICLES.add(ps.len() as u64);
         ps
     }
 }
@@ -218,6 +225,9 @@ mod tests {
         // NFW with rs = 7.63 truncated at 240 kpc holds roughly half its
         // mass within ~30 kpc.
         let frac = inside as f64 / ps.len() as f64;
-        assert!((0.3..0.85).contains(&frac), "fraction inside 30 kpc: {frac}");
+        assert!(
+            (0.3..0.85).contains(&frac),
+            "fraction inside 30 kpc: {frac}"
+        );
     }
 }

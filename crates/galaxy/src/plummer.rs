@@ -45,6 +45,7 @@ pub fn plummer_model(n: usize, mass: Real, a: Real, seed: u64) -> ParticleSet {
         ps.push(pos, vel, m_particle);
     }
     crate::m31::zero_com(&mut ps);
+    telemetry::metrics::counters::GALAXY_SAMPLED_PARTICLES.add(ps.len() as u64);
     ps
 }
 
@@ -71,7 +72,11 @@ mod tests {
         radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = radii[radii.len() / 2];
         // r_half = 1.3048 a.
-        assert!((median / 2.0 - 1.3048).abs() < 0.08, "median/a = {}", median / 2.0);
+        assert!(
+            (median / 2.0 - 1.3048).abs() < 0.08,
+            "median/a = {}",
+            median / 2.0
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl Nfw {
         let w = self.taper_width();
         let u = ((r - self.rt) / w).max(0.0);
         // Large-u limit: every e^{-u} term vanishes (avoid inf·0 = NaN).
-        let (u, eu) = if u > 500.0 { (500.0, 0.0) } else { (u, (-u).exp()) };
+        let (u, eu) = if u > 500.0 {
+            (500.0, 0.0)
+        } else {
+            (u, (-u).exp())
+        };
         let rt = self.rt;
         4.0 * std::f64::consts::PI
             * self.edge_density_unit()
@@ -76,9 +80,13 @@ impl Nfw {
         let x = rt / rs;
         let mu = (1.0 + x).ln() - x / (1.0 + x);
         let probe = Nfw { rho0: 1.0, rs, rt };
-        let unit_total = 4.0 * std::f64::consts::PI * rs.powi(3) * mu
-            + probe.taper_mass_unit(probe.r_max());
-        Nfw { rho0: mass / unit_total, rs, rt }
+        let unit_total =
+            4.0 * std::f64::consts::PI * rs.powi(3) * mu + probe.taper_mass_unit(probe.r_max());
+        Nfw {
+            rho0: mass / unit_total,
+            rs,
+            rt,
+        }
     }
 }
 
@@ -134,7 +142,11 @@ impl Hernquist {
     /// total matches exactly.
     pub fn new(mass: f64, a: f64, rt: f64) -> Self {
         let infl = ((rt + a) / rt).powi(2);
-        Hernquist { mass: mass * infl, a, rt }
+        Hernquist {
+            mass: mass * infl,
+            a,
+            rt,
+        }
     }
 }
 
@@ -182,7 +194,13 @@ pub struct Sersic {
 
 impl Sersic {
     pub fn new(mass: f64, re: f64, n: f64, rt: f64) -> Self {
-        let mut s = Sersic { mass, re, n, rt, rho_scale: 1.0 };
+        let mut s = Sersic {
+            mass,
+            re,
+            n,
+            rt,
+            rho_scale: 1.0,
+        };
         // Normalise numerically so the enclosed mass at rt equals `mass`.
         let raw = s.raw_mass(rt);
         s.rho_scale = mass / raw;
@@ -349,7 +367,11 @@ mod tests {
 
     #[test]
     fn plummer_analytic_checks() {
-        let p = Plummer { mass: 1.0, a: 1.0, rt: 100.0 };
+        let p = Plummer {
+            mass: 1.0,
+            a: 1.0,
+            rt: 100.0,
+        };
         check_density_mass_consistency(&p, 1e-5);
         // Half-mass radius of a Plummer sphere: r ≈ 1.30 a.
         let frac = p.enclosed_mass(1.3048) / p.total_mass();

@@ -15,13 +15,45 @@
 //!   --restart <path>                  resume from a checkpoint
 //!   --seed <s>                        sampling seed           [42]
 //!   --log-every <k>                   report cadence          [8]
+//!   --trace <path|->                  JSON-lines trace (- = stderr)
+//!   --metrics                         per-run counter + wall-clock tables
 //! ```
 
 use gothic::galaxy::{plummer_model, M31Model};
 use gothic::gpu_model::{ExecMode, GpuArch};
 use gothic::nbody::units;
 use gothic::octree::Mac;
-use gothic::{Function, Gothic, Profile, RunConfig, Snapshot};
+use gothic::telemetry;
+use gothic::{Function, Gothic, Profile, RunConfig, Snapshot, WallTimes};
+
+const USAGE: &str = "gothic_sim — GOTHIC pipeline driver (block time steps, acceleration MAC)
+
+USAGE:
+    gothic_sim [OPTIONS]
+
+OPTIONS:
+    --model <plummer|hernquist|m31>        initial conditions        [m31]
+    --n <N>                                particle count            [16384]
+    --dacc <x>                             accuracy parameter Δacc   [2^-9]
+    --steps <k>                            block steps to run        [64]
+    --arch <v100|p100|titanx|k20x|m2090>   cost-model GPU            [v100]
+    --mode <pascal|volta>                  execution mode (§2.1)     [pascal]
+    --eta <x>                              time-step accuracy        [0.5]
+    --eps <x>                              softening length (kpc)    [0.015625]
+    --snapshot <path>                      write a checkpoint at the end
+    --restart <path>                       resume from a checkpoint
+    --seed <s>                             sampling seed             [42]
+    --log-every <k>                        report cadence            [8]
+    --trace <path|->                       write a JSON-lines trace of spans,
+                                           step records and counter totals to
+                                           <path> ('-' traces to stderr)
+    --metrics                              print the measured-vs-modeled
+                                           breakdown and counter tables on exit
+    -h, --help                             print this help
+
+Tracing and metrics are off by default and cost nothing when disabled.
+Trace lines are self-contained JSON objects with a \"type\" field
+(meta | span | step | counters); see README.md §Observability.";
 
 #[derive(Debug)]
 struct Args {
@@ -37,6 +69,8 @@ struct Args {
     restart: Option<String>,
     seed: u64,
     log_every: u64,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
         restart: None,
         seed: 42,
         log_every: 8,
+        trace: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,9 +105,13 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot" => a.snapshot = Some(val()?),
             "--restart" => a.restart = Some(val()?),
             "--seed" => a.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--log-every" => a.log_every = val()?.parse().map_err(|e| format!("--log-every: {e}"))?,
+            "--log-every" => {
+                a.log_every = val()?.parse().map_err(|e| format!("--log-every: {e}"))?
+            }
+            "--trace" => a.trace = Some(val()?),
+            "--metrics" => a.metrics = true,
             "--help" | "-h" => {
-                println!("see the module docs at the top of gothic_sim.rs for usage");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -100,8 +140,26 @@ fn main() {
         }
     };
 
+    match args.trace.as_deref() {
+        Some("-") => telemetry::sink::init_trace_stderr(),
+        Some(path) => {
+            if let Err(e) = telemetry::sink::init_trace_file(std::path::Path::new(path)) {
+                eprintln!("gothic_sim: cannot open trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            if args.metrics {
+                // Counter tables without a trace sink: accumulate only.
+                telemetry::set_metrics_enabled(true);
+            }
+        }
+    }
+
     let cfg = RunConfig {
-        mac: Mac::Acceleration { delta_acc: args.dacc },
+        mac: Mac::Acceleration {
+            delta_acc: args.dacc,
+        },
         eps: args.eps,
         eta: args.eta,
         arch: pick_arch(&args.arch).unwrap_or_else(|e| {
@@ -174,9 +232,11 @@ fn main() {
     );
 
     let mut total = Profile::default();
+    let mut wall = WallTimes::default();
     for k in 0..args.steps {
         let r = sim.step();
         total.add(&r.profile);
+        wall.add(&r.wall);
         if (k + 1) % args.log_every == 0 || r.rebuilt && args.log_every <= 4 {
             let e = sim.diagnostics();
             println!(
@@ -203,7 +263,35 @@ fn main() {
         );
     }
     let e1 = sim.diagnostics();
-    println!("final relative energy drift: {:.3e}", e1.relative_energy_drift(&e0));
+    println!(
+        "final relative energy drift: {:.3e}",
+        e1.relative_energy_drift(&e0)
+    );
+
+    if args.metrics {
+        let rows: Vec<(&str, f64, f64)> = Function::ALL
+            .iter()
+            .map(|&f| (f.name(), total.get(f).seconds, wall.get(f)))
+            .collect();
+        let title = format!(
+            "modeled ({} {:?}) vs measured wall-clock, {} steps:",
+            sim.cfg.arch.name, sim.cfg.mode, args.steps
+        );
+        eprint!(
+            "{}",
+            telemetry::sink::breakdown_table(&title, &rows, args.steps)
+        );
+        eprint!("{}", telemetry::sink::counters_table(false));
+    }
+    if args.trace.is_some() {
+        telemetry::sink::emit_counters();
+        telemetry::sink::shutdown();
+        if let Some(path) = &args.trace {
+            if path != "-" {
+                eprintln!("trace written to {path}");
+            }
+        }
+    }
 
     if let Some(path) = &args.snapshot {
         Snapshot::capture(&sim).save(path).unwrap_or_else(|e| {

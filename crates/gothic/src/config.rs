@@ -72,7 +72,10 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Fiducial config with a given accuracy parameter Δacc.
     pub fn with_delta_acc(delta_acc: Real) -> Self {
-        RunConfig { mac: Mac::Acceleration { delta_acc }, ..RunConfig::default() }
+        RunConfig {
+            mac: Mac::Acceleration { delta_acc },
+            ..RunConfig::default()
+        }
     }
 }
 

@@ -42,3 +42,4 @@ pub use gpu_model;
 pub use nbody;
 pub use octree;
 pub use simt;
+pub use telemetry;

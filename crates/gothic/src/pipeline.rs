@@ -21,12 +21,14 @@
 //! the benchmark harness re-price the same run on every GPU of Fig. 1.
 
 use crate::config::{RebuildPolicy, RunConfig};
-use crate::profile::{price_step, Profile, StepEvents};
+use crate::profile::{price_step, Function, Profile, StepEvents};
 use gpu_model::IntegrateEvents;
 use nbody::blockstep::BlockSteps;
 use nbody::integrator::{predict_positions, timestep_criterion};
 use nbody::{ParticleSet, Real, Vec3};
-use octree::{build_tree_with_positions, calc_node, walk_tree, BuildConfig, Mac, Octree, WalkConfig};
+use octree::{
+    build_tree_with_positions, calc_node, walk_tree, BuildConfig, Mac, Octree, WalkConfig,
+};
 
 /// Host wall-clock times of one step's phases (for the criterion
 /// benches; independent of the modeled GPU times).
@@ -37,6 +39,50 @@ pub struct WallTimes {
     pub calc_node: f64,
     pub walk_tree: f64,
     pub correct: f64,
+}
+
+impl WallTimes {
+    /// Wall time of one Table-2 function.
+    pub fn get(&self, f: Function) -> f64 {
+        match f {
+            Function::WalkTree => self.walk_tree,
+            Function::CalcNode => self.calc_node,
+            Function::MakeTree => self.make_tree,
+            Function::Predict => self.predict,
+            Function::Correct => self.correct,
+        }
+    }
+
+    /// Total wall time over all phases.
+    pub fn total(&self) -> f64 {
+        Function::ALL.iter().map(|&f| self.get(f)).sum()
+    }
+
+    /// Accumulate another step's phase times.
+    pub fn add(&mut self, o: &WallTimes) {
+        self.predict += o.predict;
+        self.make_tree += o.make_tree;
+        self.calc_node += o.calc_node;
+        self.walk_tree += o.walk_tree;
+        self.correct += o.correct;
+    }
+}
+
+/// Emit one `{"type":"step"}` trace line summarising a completed block
+/// step (modeled and measured seconds plus the headline event counts).
+fn emit_step_event(r: &StepReport) {
+    let mut o = telemetry::json::JsonObject::new();
+    o.str("type", "step")
+        .u64("step", r.step)
+        .f64("t", r.time)
+        .u64("n_active", r.n_active as u64)
+        .bool("rebuilt", r.rebuilt)
+        .f64("modeled_s", r.profile.total_seconds())
+        .f64("wall_s", r.wall.total())
+        .u64("interactions", r.events.walk.interactions)
+        .u64("mac_evals", r.events.walk.mac_evals)
+        .u64("tree_nodes", r.events.calc.nodes);
+    telemetry::sink::emit(&o);
 }
 
 /// Outcome of one block step.
@@ -146,14 +192,21 @@ impl Gothic {
         let mut blocks = BlockSteps::new(n, cfg.dt_max, cfg.max_depth);
 
         let positions = ps.pos.clone();
-        let (mut tree, perm) =
-            build_tree_with_positions(&mut ps, &positions, &BuildConfig { leaf_cap: cfg.leaf_cap });
+        let (mut tree, perm) = build_tree_with_positions(
+            &mut ps,
+            &positions,
+            &BuildConfig {
+                leaf_cap: cfg.leaf_cap,
+            },
+        );
         blocks.permute(&perm);
         calc_node(&mut tree, &ps.pos, &ps.mass);
 
         // Bootstrap forces: geometric MAC, every particle active.
         let walk_cfg = WalkConfig {
-            mac: Mac::OpeningAngle { theta: cfg.theta_bootstrap },
+            mac: Mac::OpeningAngle {
+                theta: cfg.theta_bootstrap,
+            },
             eps2: cfg.eps * cfg.eps,
             list_cap: cfg.list_cap,
             ..WalkConfig::default()
@@ -215,8 +268,8 @@ impl Gothic {
     /// tick so that `time()` equals `time`, re-synchronises every
     /// particle to it, and restores the step counter.
     pub fn set_clock(&mut self, time: f64, step: u64) {
-        let ticks = (time / self.blocks.dt_max as f64 * self.blocks.ticks_per_dtmax as f64)
-            .round() as u64;
+        let ticks =
+            (time / self.blocks.dt_max as f64 * self.blocks.ticks_per_dtmax as f64).round() as u64;
         self.blocks.tick = ticks;
         for i in 0..self.blocks.len() {
             self.blocks.ptick[i] = ticks;
@@ -236,6 +289,7 @@ impl Gothic {
 
     /// Execute one block step.
     pub fn step(&mut self) -> StepReport {
+        let step_span = telemetry::span("step");
         let n = self.len();
         let eps2 = self.cfg.eps * self.cfg.eps;
         let mut events = StepEvents::default();
@@ -245,10 +299,14 @@ impl Gothic {
         let (mut active, mut drift) = self.blocks.begin_step();
 
         // --- predict -----------------------------------------------------
+        let span = telemetry::span(Function::Predict.name());
         let t0 = std::time::Instant::now();
         predict_positions(&self.ps, &drift, &mut self.pred_pos);
         wall.predict = t0.elapsed().as_secs_f64();
-        events.predict = IntegrateEvents { particles: n as u64 };
+        drop(span);
+        events.predict = IntegrateEvents {
+            particles: n as u64,
+        };
 
         // --- makeTree (policy-dependent) ----------------------------------
         let due = match self.cfg.rebuild {
@@ -259,12 +317,15 @@ impl Gothic {
         // and seeds the auto-tuner's build-cost reference.
         let rebuild = self.step_count == 0 || due;
         let rebuilt = if rebuild {
+            let _span = telemetry::span(Function::MakeTree.name());
             let t0 = std::time::Instant::now();
             let pred = self.pred_pos.clone();
             let (tree, perm) = build_tree_with_positions(
                 &mut self.ps,
                 &pred,
-                &BuildConfig { leaf_cap: self.cfg.leaf_cap },
+                &BuildConfig {
+                    leaf_cap: self.cfg.leaf_cap,
+                },
             );
             self.tree = tree;
             self.blocks.permute(&perm);
@@ -281,9 +342,11 @@ impl Gothic {
         };
 
         // --- calcNode ------------------------------------------------------
+        let span = telemetry::span(Function::CalcNode.name());
         let t0 = std::time::Instant::now();
         events.calc = calc_node(&mut self.tree, &self.pred_pos, &self.ps.mass);
         wall.calc_node = t0.elapsed().as_secs_f64();
+        drop(span);
 
         // --- walkTree ------------------------------------------------------
         let active_idx: Vec<u32> = (0..n as u32).filter(|&i| active[i as usize]).collect();
@@ -293,6 +356,7 @@ impl Gothic {
             list_cap: self.cfg.list_cap,
             ..WalkConfig::default()
         };
+        let span = telemetry::span(Function::WalkTree.name());
         let t0 = std::time::Instant::now();
         let res = walk_tree(
             &self.tree,
@@ -303,9 +367,11 @@ impl Gothic {
             &walk_cfg,
         );
         wall.walk_tree = t0.elapsed().as_secs_f64();
+        drop(span);
         events.walk = res.events;
 
         // --- correct -------------------------------------------------------
+        let span = telemetry::span(Function::Correct.name());
         let t0 = std::time::Instant::now();
         let mut dt_want = vec![self.cfg.dt_max; n];
         for (k, &i) in active_idx.iter().enumerate() {
@@ -321,7 +387,13 @@ impl Gothic {
         }
         self.blocks.end_step(&active, &dt_want);
         wall.correct = t0.elapsed().as_secs_f64();
-        events.correct = IntegrateEvents { particles: active_idx.len() as u64 };
+        drop(span);
+        // The corrector is inlined here (block bookkeeping interleaves),
+        // so the kernel counter is bumped here too.
+        telemetry::metrics::counters::CORRECT_PARTICLES.add(active_idx.len() as u64);
+        events.correct = IntegrateEvents {
+            particles: active_idx.len() as u64,
+        };
 
         // --- price + tune ---------------------------------------------------
         let profile = price_step(&events, &self.cfg.arch, self.cfg.mode, self.cfg.barrier);
@@ -336,7 +408,25 @@ impl Gothic {
 
         self.steps_since_rebuild += 1;
         self.step_count += 1;
-        StepReport {
+        drop(step_span);
+
+        {
+            use telemetry::metrics::counters as tm;
+            tm::PIPELINE_STEPS.add(1);
+            tm::PIPELINE_ACTIVE_PARTICLES.add(active_idx.len() as u64);
+            if rebuilt {
+                tm::PIPELINE_REBUILDS.add(1);
+            }
+            // Priced syncwarp executions — the modeled nvprof count for
+            // this step's kernels (nonzero only in the Volta mode).
+            let syncwarps: u64 = Function::ALL
+                .iter()
+                .map(|&f| profile.get(f).ops.sync_warp)
+                .sum();
+            tm::MODEL_SYNCWARPS.add(syncwarps);
+        }
+
+        let report = StepReport {
             step: self.step_count,
             time: self.time(),
             n_active: active_idx.len(),
@@ -344,7 +434,11 @@ impl Gothic {
             events,
             profile,
             wall,
+        };
+        if telemetry::sink::trace_active() {
+            emit_step_event(&report);
         }
+        report
     }
 
     /// Run `n_steps` block steps, returning all step reports.
@@ -422,7 +516,9 @@ mod tests {
     fn energy_is_conserved_over_a_dynamical_stretch() {
         let ps = plummer_model(2048, 100.0, 1.0, 7);
         let cfg = RunConfig {
-            mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-9) },
+            mac: Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-9),
+            },
             eps: 0.02,
             dt_max: 1.0 / 128.0,
             eta: 0.2,

@@ -296,7 +296,12 @@ mod tests {
         let ev = sample_events();
         let v100 = GpuArch::tesla_v100();
         let lf = price_step(&ev, &v100, ExecMode::PascalMode, GridBarrier::LockFree);
-        let cg = price_step(&ev, &v100, ExecMode::PascalMode, GridBarrier::CooperativeGroups);
+        let cg = price_step(
+            &ev,
+            &v100,
+            ExecMode::PascalMode,
+            GridBarrier::CooperativeGroups,
+        );
         let extra = cg.calc_node.seconds - lf.calc_node.seconds;
         let expect = ev.calc.grid_syncs as f64 * 23.0e-6;
         assert!((extra - expect).abs() < 1e-9, "extra {extra} vs {expect}");

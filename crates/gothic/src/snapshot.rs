@@ -61,7 +61,10 @@ impl Snapshot {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a GOTHIC snapshot"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a GOTHIC snapshot",
+            ));
         }
         let version = read_u32(r)?;
         if version != VERSION {
@@ -75,7 +78,10 @@ impl Snapshot {
         let n = u64::from_le_bytes(read_array(r)?) as usize;
         // Refuse absurd sizes before allocating.
         if n > 1 << 33 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible particle count"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible particle count",
+            ));
         }
         let pos = read_vec3s(r, n)?;
         let vel = read_vec3s(r, n)?;
@@ -87,11 +93,23 @@ impl Snapshot {
         for _ in 0..n {
             id.push(u32::from_le_bytes(read_array(r)?));
         }
-        let particles = ParticleSet { pos, vel, mass, acc, pot, acc_old, id };
+        let particles = ParticleSet {
+            pos,
+            vel,
+            mass,
+            acc,
+            pot,
+            acc_old,
+            id,
+        };
         particles
             .check_invariants()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(Snapshot { time, step, particles })
+        Ok(Snapshot {
+            time,
+            step,
+            particles,
+        })
     }
 
     /// Write to a file path.

@@ -266,13 +266,21 @@ mod tests {
         // §1: "single-precision theoretical peak performance of Tesla V100
         // is 15.7 TFlop/s".
         let v = GpuArch::tesla_v100();
-        assert!((v.peak_sp_tflops() - 15.67).abs() < 0.05, "{}", v.peak_sp_tflops());
+        assert!(
+            (v.peak_sp_tflops() - 15.67).abs() < 0.05,
+            "{}",
+            v.peak_sp_tflops()
+        );
     }
 
     #[test]
     fn p100_peak_matches_spec() {
         let p = GpuArch::tesla_p100();
-        assert!((p.peak_sp_tflops() - 10.6).abs() < 0.1, "{}", p.peak_sp_tflops());
+        assert!(
+            (p.peak_sp_tflops() - 10.6).abs() < 0.1,
+            "{}",
+            p.peak_sp_tflops()
+        );
     }
 
     #[test]

@@ -28,4 +28,6 @@ pub use arch::{Generation, GpuArch, IntPipe};
 pub use events::{CalcNodeEvents, IntegrateEvents, MakeTreeEvents, WalkEvents};
 pub use ops::OpCounts;
 pub use predict::{predict_speedup, SpeedupPrediction};
-pub use timing::{grid_sync_us, kernel_time, sustained_tflops, Bound, ExecMode, GridBarrier, KernelTime};
+pub use timing::{
+    grid_sync_us, kernel_time, sustained_tflops, Bound, ExecMode, GridBarrier, KernelTime,
+};

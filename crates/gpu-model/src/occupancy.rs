@@ -43,7 +43,10 @@ const REG_GRANULARITY: u32 = 256;
 
 /// Compute occupancy of a kernel with the given per-block resources.
 pub fn occupancy(arch: &GpuArch, res: &BlockResources) -> Occupancy {
-    assert!(res.threads > 0 && res.threads.is_multiple_of(32), "threads must be warp-aligned");
+    assert!(
+        res.threads > 0 && res.threads.is_multiple_of(32),
+        "threads must be warp-aligned"
+    );
     let regs_per_block =
         (res.regs_per_thread * res.threads).div_ceil(REG_GRANULARITY) * REG_GRANULARITY;
     let by_regs = arch
@@ -86,11 +89,19 @@ mod tests {
         let v100 = GpuArch::tesla_v100();
         let original = occupancy(
             &v100,
-            &BlockResources { threads: 128, regs_per_thread: 56, shared_bytes: 0 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 56,
+                shared_bytes: 0,
+            },
         );
         let cg = occupancy(
             &v100,
-            &BlockResources { threads: 128, regs_per_thread: 64, shared_bytes: 0 },
+            &BlockResources {
+                threads: 128,
+                regs_per_thread: 64,
+                shared_bytes: 0,
+            },
         );
         assert_eq!(original.blocks_per_sm, 9);
         assert_eq!(cg.blocks_per_sm, 8);
@@ -102,7 +113,11 @@ mod tests {
         let v100 = GpuArch::tesla_v100();
         let o = occupancy(
             &v100,
-            &BlockResources { threads: 32, regs_per_thread: 16, shared_bytes: 48 * 1024 },
+            &BlockResources {
+                threads: 32,
+                regs_per_thread: 16,
+                shared_bytes: 48 * 1024,
+            },
         );
         assert_eq!(o.blocks_per_sm, 2);
         assert_eq!(o.limiter, Limiter::SharedMemory);
@@ -113,7 +128,11 @@ mod tests {
         let v100 = GpuArch::tesla_v100();
         let o = occupancy(
             &v100,
-            &BlockResources { threads: 1024, regs_per_thread: 16, shared_bytes: 0 },
+            &BlockResources {
+                threads: 1024,
+                regs_per_thread: 16,
+                shared_bytes: 0,
+            },
         );
         assert_eq!(o.blocks_per_sm, 2);
         assert_eq!(o.limiter, Limiter::Threads);
@@ -125,7 +144,11 @@ mod tests {
         let v100 = GpuArch::tesla_v100();
         let o = occupancy(
             &v100,
-            &BlockResources { threads: 32, regs_per_thread: 8, shared_bytes: 0 },
+            &BlockResources {
+                threads: 32,
+                regs_per_thread: 8,
+                shared_bytes: 0,
+            },
         );
         assert_eq!(o.blocks_per_sm, v100.max_blocks_per_sm);
         assert_eq!(o.limiter, Limiter::BlockSlots);
@@ -136,7 +159,11 @@ mod tests {
     fn rejects_non_warp_multiple() {
         occupancy(
             &GpuArch::tesla_v100(),
-            &BlockResources { threads: 33, regs_per_thread: 8, shared_bytes: 0 },
+            &BlockResources {
+                threads: 33,
+                regs_per_thread: 8,
+                shared_bytes: 0,
+            },
         );
     }
 }

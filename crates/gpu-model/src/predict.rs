@@ -79,7 +79,10 @@ mod tests {
     fn fp_only_kernel_gains_only_peak_ratio() {
         // The direct method (no integer work) would gain only the peak
         // ratio — the tree method is what exposes the overlap win (§1/§4.2).
-        let ops = OpCounts { fp_fma: 1000, ..OpCounts::default() };
+        let ops = OpCounts {
+            fp_fma: 1000,
+            ..OpCounts::default()
+        };
         let p = predict_speedup(&GpuArch::tesla_v100(), &GpuArch::tesla_p100(), &ops);
         assert!((p.expected - p.peak_ratio).abs() < 1e-12);
     }
@@ -87,7 +90,11 @@ mod tests {
     #[test]
     fn int_dominated_kernel_caps_at_two_ish() {
         // hiding ratio = (int+fp)/int → at most 2 when int = fp.
-        let ops = OpCounts { int_ops: 1000, fp_add: 1000, ..OpCounts::default() };
+        let ops = OpCounts {
+            int_ops: 1000,
+            fp_add: 1000,
+            ..OpCounts::default()
+        };
         let p = predict_speedup(&GpuArch::tesla_v100(), &GpuArch::tesla_p100(), &ops);
         assert!((p.hiding_ratio - 2.0).abs() < 1e-12);
     }

@@ -139,6 +139,7 @@ pub fn kernel_time(
     barrier: GridBarrier,
     ops: &OpCounts,
 ) -> KernelTime {
+    telemetry::metrics::counters::MODEL_KERNEL_PRICINGS.add(1);
     let eff = arch.issue_efficiency;
 
     // Compute pipes.
@@ -293,7 +294,8 @@ mod tests {
     fn grid_sync_cost_matches_appendix_a() {
         // Appendix A: Cooperative Groups costs ≈ 2.3 × 10⁻⁵ s more per
         // grid synchronization than the lock-free barrier.
-        let extra = grid_sync_us(GridBarrier::CooperativeGroups) - grid_sync_us(GridBarrier::LockFree);
+        let extra =
+            grid_sync_us(GridBarrier::CooperativeGroups) - grid_sync_us(GridBarrier::LockFree);
         assert!((extra - 23.0).abs() < 1e-9);
     }
 
@@ -301,7 +303,10 @@ mod tests {
     fn launch_overhead_floors_small_kernels() {
         // An almost-empty kernel costs at least the launch overhead —
         // the flattening of Fig. 3 at small N.
-        let ops = OpCounts { fp_add: 32, ..OpCounts::default() };
+        let ops = OpCounts {
+            fp_add: 32,
+            ..OpCounts::default()
+        };
         let v = GpuArch::tesla_v100();
         let t = kernel_time(&v, ExecMode::PascalMode, GridBarrier::LockFree, &ops);
         assert!(t.total >= v.launch_overhead_us * 1e-6);
@@ -310,7 +315,10 @@ mod tests {
 
     #[test]
     fn sustained_tflops_sanity() {
-        let ops = OpCounts { fp_fma: 500_000_000_000, ..OpCounts::default() };
+        let ops = OpCounts {
+            fp_fma: 500_000_000_000,
+            ..OpCounts::default()
+        };
         // 1e12 Flops in 0.1 s = 10 TFlop/s.
         assert!((sustained_tflops(&ops, 0.1) - 10.0).abs() < 1e-9);
         assert_eq!(sustained_tflops(&ops, 0.0), 0.0);
@@ -327,7 +335,12 @@ mod tests {
             GridBarrier::LockFree,
             &ops,
         );
-        assert!(k.issue > k.compute, "issue {} compute {}", k.issue, k.compute);
+        assert!(
+            k.issue > k.compute,
+            "issue {} compute {}",
+            k.issue,
+            k.compute
+        );
         let v = kernel_time(
             &GpuArch::tesla_v100(),
             ExecMode::PascalMode,
@@ -361,7 +374,11 @@ mod bound_tests {
             &v100,
             ExecMode::PascalMode,
             GridBarrier::LockFree,
-            &OpCounts { fp_fma: 10_000_000_000, int_ops: 1_000_000, ..OpCounts::default() },
+            &OpCounts {
+                fp_fma: 10_000_000_000,
+                int_ops: 1_000_000,
+                ..OpCounts::default()
+            },
         );
         assert_eq!(t.limiting_factor(), Bound::Compute);
         // Memory-bound: huge traffic, trivial arithmetic.
@@ -369,7 +386,11 @@ mod bound_tests {
             &v100,
             ExecMode::PascalMode,
             GridBarrier::LockFree,
-            &OpCounts { st_bytes: 50_000_000_000, fp_add: 100, ..OpCounts::default() },
+            &OpCounts {
+                st_bytes: 50_000_000_000,
+                fp_add: 100,
+                ..OpCounts::default()
+            },
         );
         assert_eq!(t.limiting_factor(), Bound::Memory);
         // Overhead-bound: a near-empty kernel.
@@ -377,7 +398,10 @@ mod bound_tests {
             &v100,
             ExecMode::PascalMode,
             GridBarrier::LockFree,
-            &OpCounts { fp_add: 10, ..OpCounts::default() },
+            &OpCounts {
+                fp_add: 10,
+                ..OpCounts::default()
+            },
         );
         assert_eq!(t.limiting_factor(), Bound::Overhead);
         // Latency-bound: dominated by serialised dependent rounds.
@@ -385,7 +409,11 @@ mod bound_tests {
             &v100,
             ExecMode::PascalMode,
             GridBarrier::LockFree,
-            &OpCounts { serial_rounds: 50_000_000, fp_add: 10_000, ..OpCounts::default() },
+            &OpCounts {
+                serial_rounds: 50_000_000,
+                fp_add: 10_000,
+                ..OpCounts::default()
+            },
         );
         assert_eq!(t.limiting_factor(), Bound::Latency);
     }

@@ -207,7 +207,7 @@ mod tests {
     fn two_level_hierarchy_alternates_activity() {
         let mut bs = BlockSteps::new(2, 1.0, 8);
         bs.level[1] = 1; // particle 1 takes half steps
-        // First block step: t -> 0.5, only particle 1 active.
+                         // First block step: t -> 0.5, only particle 1 active.
         let (active, drift) = bs.begin_step();
         assert_eq!(active, vec![false, true]);
         assert!((drift[0] - 0.5).abs() < 1e-6);

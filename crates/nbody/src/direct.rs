@@ -14,11 +14,7 @@ use rayon::prelude::*;
 
 /// Compute accelerations and potentials of `sinks` positions due to all
 /// `sources`, serially. Returns (acc, pot) vectors.
-pub fn direct_serial(
-    sinks: &[Vec3],
-    sources: &[Source],
-    eps2: Real,
-) -> (Vec<Vec3>, Vec<Real>) {
+pub fn direct_serial(sinks: &[Vec3], sources: &[Source], eps2: Real) -> (Vec<Vec3>, Vec<Real>) {
     let mut acc = vec![Vec3::ZERO; sinks.len()];
     let mut pot = vec![0.0; sinks.len()];
     for (i, &p) in sinks.iter().enumerate() {
@@ -36,11 +32,7 @@ pub fn direct_serial(
 }
 
 /// Parallel direct summation over sinks (rayon).
-pub fn direct_parallel(
-    sinks: &[Vec3],
-    sources: &[Source],
-    eps2: Real,
-) -> (Vec<Vec3>, Vec<Real>) {
+pub fn direct_parallel(sinks: &[Vec3], sources: &[Source], eps2: Real) -> (Vec<Vec3>, Vec<Real>) {
     let results: Vec<(Vec3, Real)> = sinks
         .par_iter()
         .map(|&p| {
@@ -90,7 +82,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ps = ParticleSet::with_capacity(n);
         for _ in 0..n {
-            let p = Vec3::new(rng.random::<Real>(), rng.random::<Real>(), rng.random::<Real>());
+            let p = Vec3::new(
+                rng.random::<Real>(),
+                rng.random::<Real>(),
+                rng.random::<Real>(),
+            );
             let v = Vec3::new(
                 rng.random::<Real>() - 0.5,
                 rng.random::<Real>() - 0.5,

@@ -35,6 +35,7 @@ pub struct Predicted {
 /// corrector needs.
 pub fn predict(ps: &mut ParticleSet, dt: &[Real]) -> Vec<Vec3> {
     assert_eq!(dt.len(), ps.len());
+    telemetry::metrics::counters::PREDICT_PARTICLES.add(ps.len() as u64);
     let acc_old = ps.acc.clone();
     ps.pos
         .par_iter_mut()
@@ -49,23 +50,17 @@ pub fn predict(ps: &mut ParticleSet, dt: &[Real]) -> Vec<Vec3> {
 
 /// `correct` kernel: finish the step of the particles flagged in
 /// `active`, averaging old and new accelerations.
-pub fn correct(
-    ps: &mut ParticleSet,
-    acc_old: &[Vec3],
-    dt: &[Real],
-    active: &[bool],
-) {
+pub fn correct(ps: &mut ParticleSet, acc_old: &[Vec3], dt: &[Real], active: &[bool]) {
     assert_eq!(acc_old.len(), ps.len());
     assert_eq!(dt.len(), ps.len());
     assert_eq!(active.len(), ps.len());
-    ps.vel
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(i, v)| {
-            if active[i] {
-                *v += (acc_old[i] + ps.acc[i]) * (0.5 * dt[i]);
-            }
-        });
+    let n_active = active.iter().filter(|&&a| a).count() as u64;
+    telemetry::metrics::counters::CORRECT_PARTICLES.add(n_active);
+    ps.vel.par_iter_mut().enumerate().for_each(|(i, v)| {
+        if active[i] {
+            *v += (acc_old[i] + ps.acc[i]) * (0.5 * dt[i]);
+        }
+    });
 }
 
 /// Non-destructive prediction used by the block-time-step pipeline: drift
@@ -75,6 +70,7 @@ pub fn correct(
 pub fn predict_positions(ps: &ParticleSet, dt: &[Real], out: &mut [Vec3]) {
     assert_eq!(dt.len(), ps.len());
     assert_eq!(out.len(), ps.len());
+    telemetry::metrics::counters::PREDICT_PARTICLES.add(ps.len() as u64);
     out.par_iter_mut().enumerate().for_each(|(i, o)| {
         let h = dt[i];
         *o = ps.pos[i] + ps.vel[i] * h + ps.acc[i] * (0.5 * h * h);
@@ -127,7 +123,10 @@ mod tests {
         ps.push(Vec3::new(r0, 0.0, 0.0), Vec3::new(0.0, v0, 0.0), 1e-12);
 
         let eval = |ps: &mut ParticleSet| {
-            let src = Source { pos: Vec3::ZERO, mass: m_central };
+            let src = Source {
+                pos: Vec3::ZERO,
+                mass: m_central,
+            };
             for i in 0..ps.len() {
                 let o = crate::kernel::interact(ps.pos[i], src, 0.0);
                 ps.acc[i] = o.acc;

@@ -95,7 +95,10 @@ mod tests {
         // Unit mass at distance 2 along x: a = m/r² = 0.25 toward source.
         let out = interact(
             Vec3::ZERO,
-            Source { pos: Vec3::new(2.0, 0.0, 0.0), mass: 1.0 },
+            Source {
+                pos: Vec3::new(2.0, 0.0, 0.0),
+                mass: 1.0,
+            },
             0.0,
         );
         assert!((out.acc.x - 0.25).abs() < 1e-6);
@@ -107,7 +110,10 @@ mod tests {
     fn softening_removes_divergence() {
         let out = interact(
             Vec3::ZERO,
-            Source { pos: Vec3::ZERO, mass: 3.0 },
+            Source {
+                pos: Vec3::ZERO,
+                mass: 3.0,
+            },
             0.01,
         );
         assert_eq!(out.acc, Vec3::ZERO);
@@ -117,7 +123,10 @@ mod tests {
 
     #[test]
     fn acceleration_points_toward_source() {
-        let src = Source { pos: Vec3::new(-1.0, 2.0, 0.5), mass: 2.0 };
+        let src = Source {
+            pos: Vec3::new(-1.0, 2.0, 0.5),
+            mass: 2.0,
+        };
         let out = interact(Vec3::ZERO, src, 1e-4);
         let d = src.pos;
         // acc ∝ d with positive coefficient
@@ -129,9 +138,18 @@ mod tests {
     fn accumulate_is_sum_of_interactions() {
         let sinks = Vec3::new(0.3, -0.2, 0.9);
         let srcs = [
-            Source { pos: Vec3::new(1.0, 0.0, 0.0), mass: 1.0 },
-            Source { pos: Vec3::new(0.0, 2.0, 0.0), mass: 0.5 },
-            Source { pos: Vec3::new(0.0, 0.0, -3.0), mass: 2.0 },
+            Source {
+                pos: Vec3::new(1.0, 0.0, 0.0),
+                mass: 1.0,
+            },
+            Source {
+                pos: Vec3::new(0.0, 2.0, 0.0),
+                mass: 0.5,
+            },
+            Source {
+                pos: Vec3::new(0.0, 0.0, -3.0),
+                mass: 2.0,
+            },
         ];
         let total = accumulate(sinks, &srcs, 1e-3);
         let mut manual = AccPot::default();
@@ -143,7 +161,10 @@ mod tests {
 
     #[test]
     fn softened_force_weaker_than_unsoftened() {
-        let src = Source { pos: Vec3::new(1.0, 0.0, 0.0), mass: 1.0 };
+        let src = Source {
+            pos: Vec3::new(1.0, 0.0, 0.0),
+            mass: 1.0,
+        };
         let hard = interact(Vec3::ZERO, src, 0.0);
         let soft = interact(Vec3::ZERO, src, 0.5);
         assert!(soft.acc.norm() < hard.acc.norm());

@@ -46,7 +46,10 @@ mod tests {
 
     fn kepler_eval(m_central: Real) -> impl FnMut(&mut ParticleSet) {
         move |ps: &mut ParticleSet| {
-            let src = Source { pos: Vec3::ZERO, mass: m_central };
+            let src = Source {
+                pos: Vec3::ZERO,
+                mass: m_central,
+            };
             for i in 0..ps.len() {
                 let o = interact(ps.pos[i], src, 0.0);
                 ps.acc[i] = o.acc;
@@ -79,9 +82,7 @@ mod tests {
         ps.push(Vec3::new(1.5, 0.0, 0.0), Vec3::new(0.0, 0.58, 0.0), 1e-12);
         let mut eval = kepler_eval(1.0);
         eval(&mut ps);
-        let e = |ps: &ParticleSet| {
-            0.5 * ps.vel[0].norm2() as f64 - 1.0 / ps.pos[0].norm() as f64
-        };
+        let e = |ps: &ParticleSet| 0.5 * ps.vel[0].norm2() as f64 - 1.0 / ps.pos[0].norm() as f64;
         let e0 = e(&ps);
         let mut max_err = 0.0f64;
         for _ in 0..4000 {

@@ -140,7 +140,9 @@ impl ParticleSet {
         for &i in &self.id {
             let i = i as usize;
             if i >= n || seen[i] {
-                return Err(format!("id array is not a permutation (duplicate or out-of-range {i})"));
+                return Err(format!(
+                    "id array is not a permutation (duplicate or out-of-range {i})"
+                ));
             }
             seen[i] = true;
         }
@@ -166,7 +168,11 @@ mod tests {
         let mut s = ParticleSet::with_capacity(n);
         for i in 0..n {
             let f = i as Real;
-            s.push(Vec3::new(f, 2.0 * f, -f), Vec3::new(0.1 * f, 0.0, 0.0), 1.0 + f);
+            s.push(
+                Vec3::new(f, 2.0 * f, -f),
+                Vec3::new(0.1 * f, 0.0, 0.0),
+                1.0 + f,
+            );
         }
         s
     }
@@ -180,11 +186,7 @@ mod tests {
 
     #[test]
     fn from_parts_builds_consistent_set() {
-        let s = ParticleSet::from_parts(
-            vec![Vec3::ZERO; 3],
-            vec![Vec3::ZERO; 3],
-            vec![1.0; 3],
-        );
+        let s = ParticleSet::from_parts(vec![Vec3::ZERO; 3], vec![Vec3::ZERO; 3], vec![1.0; 3]);
         assert_eq!(s.len(), 3);
         assert!((s.total_mass() - 3.0).abs() < 1e-12);
         s.check_invariants().unwrap();

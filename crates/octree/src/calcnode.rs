@@ -80,11 +80,7 @@ pub fn calc_node(tree: &mut Octree, pos: &[Vec3], mass: &[Real]) -> CalcNodeEven
                     }
                 }
                 let com = if m > 0.0 {
-                    Vec3::new(
-                        (c[0] / m) as Real,
-                        (c[1] / m) as Real,
-                        (c[2] / m) as Real,
-                    )
+                    Vec3::new((c[0] / m) as Real, (c[1] / m) as Real, (c[2] / m) as Real)
                 } else {
                     Vec3::ZERO
                 };
@@ -110,6 +106,12 @@ pub fn calc_node(tree: &mut Octree, pos: &[Vec3], mass: &[Real]) -> CalcNodeEven
         accum += pair_count;
     }
     events.child_accumulations = accum;
+    {
+        use telemetry::metrics::counters as tm;
+        tm::CALC_NODES.add(events.nodes);
+        tm::CALC_ACCUMULATIONS.add(events.child_accumulations);
+        tm::CALC_GRID_SYNCS.add(events.grid_syncs);
+    }
     events
 }
 

@@ -36,7 +36,9 @@ pub enum Mac {
 impl Mac {
     /// The paper's fiducial accuracy: Δacc = 2⁻⁹ ≈ 1.95 × 10⁻³.
     pub fn fiducial() -> Mac {
-        Mac::Acceleration { delta_acc: 2.0f32.powi(-9) }
+        Mac::Acceleration {
+            delta_acc: 2.0f32.powi(-9),
+        }
     }
 
     /// Decide whether node J (mass `m`, bounding radius `b`) may be

@@ -63,7 +63,11 @@ pub fn morton_key(p: Vec3, cube: &Aabb) -> u64 {
 
 /// Decode a key back to the quantised lattice coordinates.
 pub fn morton_decode(key: u64) -> (u64, u64, u64) {
-    (compact_bits(key >> 2), compact_bits(key >> 1), compact_bits(key))
+    (
+        compact_bits(key >> 2),
+        compact_bits(key >> 1),
+        compact_bits(key),
+    )
 }
 
 /// The octant index (0..8) a key selects at tree `level` (level 0 children
@@ -171,7 +175,10 @@ mod tests {
             let c = cell_center(k, depth, &cube);
             let d = (c - p).norm();
             assert!(d <= last + 1e-6, "depth {depth}: {d} > {last}");
-            assert!(d <= cell_size(depth, &cube) * 0.87, "centre outside cell at depth {depth}");
+            assert!(
+                d <= cell_size(depth, &cube) * 0.87,
+                "centre outside cell at depth {depth}"
+            );
             last = d;
         }
     }
@@ -196,9 +203,7 @@ mod tests {
     #[test]
     fn batch_matches_scalar() {
         let cube = unit_cube();
-        let pts: Vec<Vec3> = (0..100)
-            .map(|i| Vec3::splat(i as Real / 100.0))
-            .collect();
+        let pts: Vec<Vec3> = (0..100).map(|i| Vec3::splat(i as Real / 100.0)).collect();
         let keys = morton_keys(&pts, &cube);
         for (i, &p) in pts.iter().enumerate() {
             assert_eq!(keys[i], morton_key(p, &cube));

@@ -9,8 +9,8 @@
 //! per-level grid synchronizations of Appendix A meaningful.
 
 use crate::morton::{self, MAX_DEPTH};
-use nbody::{Aabb, ParticleSet, Real, Vec3};
 use gpu_model::MakeTreeEvents;
+use nbody::{Aabb, ParticleSet, Real, Vec3};
 use rayon::prelude::*;
 
 /// Sentinel for "no children".
@@ -232,9 +232,8 @@ pub fn build_tree_with_positions(
                     let hi = if oct == 7 {
                         c
                     } else {
-                        lo + slice[lo..].partition_point(|&k| {
-                            morton::octant_at_level(k, level) <= oct
-                        })
+                        lo + slice[lo..]
+                            .partition_point(|&k| morton::octant_at_level(k, level) <= oct)
                     };
                     if hi > lo {
                         ranges.push(((s + lo) as u32, (hi - lo) as u32));
@@ -259,9 +258,24 @@ pub fn build_tree_with_positions(
                 let key = tree.keys[ps_ as usize];
                 let oct = morton::octant_at_level(key, level);
                 let cc = Vec3::new(
-                    parent_center.x + if oct & 0b100 != 0 { child_half } else { -child_half },
-                    parent_center.y + if oct & 0b010 != 0 { child_half } else { -child_half },
-                    parent_center.z + if oct & 0b001 != 0 { child_half } else { -child_half },
+                    parent_center.x
+                        + if oct & 0b100 != 0 {
+                            child_half
+                        } else {
+                            -child_half
+                        },
+                    parent_center.y
+                        + if oct & 0b010 != 0 {
+                            child_half
+                        } else {
+                            -child_half
+                        },
+                    parent_center.z
+                        + if oct & 0b001 != 0 {
+                            child_half
+                        } else {
+                            -child_half
+                        },
                 );
                 let id = tree.level.len() as u32;
                 tree.level.push((level + 1) as u8);
@@ -282,6 +296,8 @@ pub fn build_tree_with_positions(
         level += 1;
     }
     tree.events.nodes_created = tree.n_nodes() as u64;
+    telemetry::metrics::counters::TREE_BUILDS.add(1);
+    telemetry::metrics::counters::TREE_NODES_CREATED.add(tree.events.nodes_created);
 
     // Size the COM arrays; calc_node fills them.
     let n_nodes = tree.n_nodes();

@@ -159,7 +159,10 @@ fn walk_group(
             let separated = d > b && d > 0.0;
             if separated && cfg.mac.accepts(tree.mass[v], b, d * d, a_min) {
                 push_source(
-                    Source { pos: com, mass: tree.mass[v] },
+                    Source {
+                        pos: com,
+                        mass: tree.mass[v],
+                    },
                     &mut list,
                     cfg,
                     group,
@@ -171,7 +174,10 @@ fn walk_group(
             } else if tree.is_leaf(v) {
                 for p in tree.particles(v) {
                     push_source(
-                        Source { pos: pos[p], mass: mass_arr[p] },
+                        Source {
+                            pos: pos[p],
+                            mass: mass_arr[p],
+                        },
                         &mut list,
                         cfg,
                         group,
@@ -195,7 +201,22 @@ fn walk_group(
         flush(&list, group, pos, &mut acc, &mut pot, cfg.eps2, &mut events);
         list.clear();
     }
+    record_walk_counters(&events);
     (acc, pot, events)
+}
+
+/// Publish one group's event counts to the telemetry registry. Runs on
+/// the rayon worker that walked the group; the counters are sharded, so
+/// concurrent groups do not contend.
+#[inline]
+fn record_walk_counters(events: &WalkEvents) {
+    use telemetry::metrics::counters as tm;
+    tm::WALK_GROUPS.add(events.groups);
+    tm::WALK_INTERACTIONS.add(events.interactions);
+    tm::WALK_MAC_EVALS.add(events.mac_evals);
+    tm::WALK_LIST_PUSHES.add(events.list_pushes);
+    tm::WALK_OPENS.add(events.opens);
+    tm::WALK_FLUSHES.add(events.flushes);
 }
 
 /// Append one source, flushing the shared list at capacity.
@@ -265,15 +286,16 @@ mod tests {
         ps
     }
 
-    fn forces_fixture(
-        n: usize,
-        mac: Mac,
-    ) -> (ParticleSet, WalkResult, Vec<Vec3>, Vec<Real>) {
+    fn forces_fixture(n: usize, mac: Mac) -> (ParticleSet, WalkResult, Vec<Vec3>, Vec<Real>) {
         let mut ps = plummer_like(n, 42);
         let mut tree = build_tree(&mut ps, &BuildConfig::default());
         calc_node(&mut tree, &ps.pos, &ps.mass);
         let eps2 = 1e-6;
-        let cfg = WalkConfig { mac, eps2, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            mac,
+            eps2,
+            ..WalkConfig::default()
+        };
         let active: Vec<u32> = (0..n as u32).collect();
         // Bootstrap a_old with 1 (irrelevant for OpeningAngle).
         let a_old = vec![1.0; n];
@@ -307,7 +329,9 @@ mod tests {
     fn acceleration_mac_error_tracks_delta_acc() {
         let mut last_err = f64::INFINITY;
         for exp in [-3, -6, -9, -12] {
-            let mac = Mac::Acceleration { delta_acc: 2.0f32.powi(exp) };
+            let mac = Mac::Acceleration {
+                delta_acc: 2.0f32.powi(exp),
+            };
             let (_, res, dacc, _) = forces_fixture(2048, mac);
             let err = median_acc_error(&res, &dacc);
             assert!(
@@ -323,7 +347,13 @@ mod tests {
     #[test]
     fn fewer_interactions_at_looser_accuracy() {
         let loose = forces_fixture(2048, Mac::Acceleration { delta_acc: 0.25 }).1;
-        let tight = forces_fixture(2048, Mac::Acceleration { delta_acc: 2.0f32.powi(-12) }).1;
+        let tight = forces_fixture(
+            2048,
+            Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-12),
+            },
+        )
+        .1;
         assert!(
             loose.events.interactions < tight.events.interactions,
             "loose {} vs tight {}",
@@ -341,7 +371,11 @@ mod tests {
             .map(|i| ((res.pot[i] - dpot[i]).abs() / dpot[i].abs()) as f64)
             .collect();
         errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(errs[errs.len() / 2] < 2e-3, "median pot error {}", errs[errs.len() / 2]);
+        assert!(
+            errs[errs.len() / 2] < 2e-3,
+            "median pot error {}",
+            errs[errs.len() / 2]
+        );
     }
 
     #[test]
@@ -349,16 +383,16 @@ mod tests {
         let mut ps = plummer_like(1024, 7);
         let mut tree = build_tree(&mut ps, &BuildConfig::default());
         calc_node(&mut tree, &ps.pos, &ps.mass);
-        let cfg = WalkConfig { mac: Mac::OpeningAngle { theta: 0.6 }, ..Default::default() };
+        let cfg = WalkConfig {
+            mac: Mac::OpeningAngle { theta: 0.6 },
+            ..Default::default()
+        };
         let a_old = vec![1.0; 1024];
         let active: Vec<u32> = (0..1024).step_by(3).map(|i| i as u32).collect();
         let res = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg);
         assert_eq!(res.acc.len(), active.len());
         assert_eq!(res.events.sinks, active.len() as u64);
-        assert_eq!(
-            res.events.groups,
-            active.len().div_ceil(WARP_SIZE) as u64
-        );
+        assert_eq!(res.events.groups, active.len().div_ceil(WARP_SIZE) as u64);
     }
 
     #[test]
@@ -417,7 +451,11 @@ pub fn walk_tree_individual(
         .map(|&i| {
             let sink = pos[i as usize];
             let a_min = acc_old[i as usize];
-            let mut events = WalkEvents { groups: 1, sinks: 1, ..WalkEvents::default() };
+            let mut events = WalkEvents {
+                groups: 1,
+                sinks: 1,
+                ..WalkEvents::default()
+            };
             let mut acc = Vec3::ZERO;
             let mut pot: Real = 0.0;
             let mut list: Vec<Source> = Vec::with_capacity(cfg.list_cap);
@@ -438,11 +476,11 @@ pub fn walk_tree_individual(
                     let b = tree.bmax[v];
                     let d = (com - sink).norm();
                     let separated = d > b && d > 0.0;
-                    let mut flush_push = |src: Source,
-                                          list: &mut Vec<Source>,
-                                          events: &mut WalkEvents,
-                                          acc: &mut Vec3,
-                                          pot: &mut Real| {
+                    let flush_push = |src: Source,
+                                      list: &mut Vec<Source>,
+                                      events: &mut WalkEvents,
+                                      acc: &mut Vec3,
+                                      pot: &mut Real| {
                         list.push(src);
                         events.list_pushes += 1;
                         if list.len() == cfg.list_cap {
@@ -456,7 +494,10 @@ pub fn walk_tree_individual(
                     };
                     if separated && cfg.mac.accepts(tree.mass[v], b, d * d, a_min) {
                         flush_push(
-                            Source { pos: com, mass: tree.mass[v] },
+                            Source {
+                                pos: com,
+                                mass: tree.mass[v],
+                            },
                             &mut list,
                             &mut events,
                             &mut acc,
@@ -465,7 +506,10 @@ pub fn walk_tree_individual(
                     } else if tree.is_leaf(v) {
                         for p in tree.particles(v) {
                             flush_push(
-                                Source { pos: pos[p], mass: mass_arr[p] },
+                                Source {
+                                    pos: pos[p],
+                                    mass: mass_arr[p],
+                                },
                                 &mut list,
                                 &mut events,
                                 &mut acc,
@@ -487,6 +531,7 @@ pub fn walk_tree_individual(
                 acc += out.acc;
                 pot += out.pot;
             }
+            record_walk_counters(&events);
             (acc, pot, events)
         })
         .collect();
@@ -519,7 +564,11 @@ mod individual_tests {
             let th = (rng.random::<Real>() * 2.0 - 1.0).acos();
             let phi = rng.random::<Real>() * std::f32::consts::TAU;
             ps.push(
-                Vec3::new(r * th.sin() * phi.cos(), r * th.sin() * phi.sin(), r * th.cos()),
+                Vec3::new(
+                    r * th.sin() * phi.cos(),
+                    r * th.sin() * phi.sin(),
+                    r * th.cos(),
+                ),
                 Vec3::ZERO,
                 1.0 / n as Real,
             );
@@ -534,7 +583,9 @@ mod individual_tests {
         let n = 2048;
         let (ps, tree) = fixture(n);
         let cfg = WalkConfig {
-            mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-10) },
+            mac: Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-10),
+            },
             eps2: 1e-5,
             ..WalkConfig::default()
         };
@@ -563,7 +614,11 @@ mod individual_tests {
         // the mirror image.
         let n = 4096;
         let (ps, tree) = fixture(n);
-        let cfg = WalkConfig { mac: Mac::fiducial(), eps2: 1e-5, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            mac: Mac::fiducial(),
+            eps2: 1e-5,
+            ..WalkConfig::default()
+        };
         let active: Vec<u32> = (0..n as u32).collect();
         let a_old = vec![1.0; n];
         let group = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg);
@@ -587,7 +642,9 @@ mod individual_tests {
         let n = 1024;
         let (ps, tree) = fixture(n);
         let cfg = WalkConfig {
-            mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-12) },
+            mac: Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-12),
+            },
             eps2: 1e-5,
             ..WalkConfig::default()
         };

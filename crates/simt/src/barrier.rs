@@ -137,7 +137,13 @@ mod tests {
         let counter = Reg(9);
         let one = Reg(10);
 
-        let regs = BarrierRegs { tid, bid, grid_dim: gd, goal, scratch: [t0, t1, t2, t3] };
+        let regs = BarrierRegs {
+            tid,
+            bid,
+            grid_dim: gd,
+            goal,
+            scratch: [t0, t1, t2, t3],
+        };
         let mut body = vec![
             Stmt::Op(Op::ThreadId(tid)),
             Stmt::Op(Op::BlockId(bid)),

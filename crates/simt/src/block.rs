@@ -233,7 +233,10 @@ mod tests {
         let stale = (0..WARP_SIZE)
             .filter(|&l| b.warps[0].reg(l, Reg(4)) != ((63 - l) * 3) as u32)
             .count();
-        assert!(stale > 0, "expected a cross-warp race without __syncthreads");
+        assert!(
+            stale > 0,
+            "expected a cross-warp race without __syncthreads"
+        );
     }
 
     #[test]

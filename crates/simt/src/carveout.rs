@@ -57,7 +57,11 @@ mod tests {
     fn floor_request_recovers_each_candidate() {
         for &c in &CARVEOUT_CANDIDATES_KIB {
             let pct = carveout_percent_for(c);
-            assert_eq!(carveout_capacity_kib(pct), c, "candidate {c} KiB via {pct}%");
+            assert_eq!(
+                carveout_capacity_kib(pct),
+                c,
+                "candidate {c} KiB via {pct}%"
+            );
         }
     }
 

@@ -100,12 +100,28 @@ impl Grid {
                 }
             }
         }
-        Ok(self.stats())
+        let stats = self.stats();
+        use telemetry::metrics::counters as tm;
+        tm::SIMT_SCHED_STEPS.add(stats.retired);
+        tm::SIMT_SYNCWARPS.add(stats.syncwarps);
+        tm::SIMT_BLOCK_SYNCS.add(stats.block_syncs);
+        tm::SIMT_GRID_BARRIERS.add(stats.grid_syncs);
+        let shuffles: u64 = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.warps.iter())
+            .map(|w| w.lane_counts.shuffle)
+            .sum();
+        tm::SIMT_SHUFFLE_LANES.add(shuffles);
+        Ok(stats)
     }
 
     /// Collect statistics.
     pub fn stats(&self) -> GridStats {
-        let mut s = GridStats { grid_syncs: self.grid_syncs, ..GridStats::default() };
+        let mut s = GridStats {
+            grid_syncs: self.grid_syncs,
+            ..GridStats::default()
+        };
         for b in &self.blocks {
             s.block_syncs += b.block_syncs;
             for w in &b.warps {
@@ -212,7 +228,10 @@ mod tests {
                 }
             }
         }
-        assert!(partial, "expected at least one block to read a partial count");
+        assert!(
+            partial,
+            "expected at least one block to read a partial count"
+        );
     }
 
     #[test]
@@ -232,10 +251,17 @@ mod tests {
         let acc = Reg(1);
         let p = Program::compile(&[
             Stmt::Op(Op::ConstI(one, 1)),
-            Stmt::While { pre: vec![], cond: one, body: vec![Stmt::Op(Op::AddI(acc, acc, one))] },
+            Stmt::While {
+                pre: vec![],
+                cond: one,
+                body: vec![Stmt::Op(Op::AddI(acc, acc, one))],
+            },
         ]);
         // cond register stays 1 forever: infinite loop.
         let mut g = Grid::new(1, 32, 4, 4, &p);
-        assert_eq!(g.run(&p, Scheduler::Lockstep, 10_000), Err(ExecError::Deadlock));
+        assert_eq!(
+            g.run(&p, Scheduler::Lockstep, 10_000),
+            Err(ExecError::Deadlock)
+        );
     }
 }

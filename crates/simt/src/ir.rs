@@ -141,7 +141,10 @@ pub enum Inst {
     Op(Op),
     /// Jump to `target` for lanes where `cond == 0`; fall through
     /// otherwise.
-    BranchIfZero { cond: Reg, target: usize },
+    BranchIfZero {
+        cond: Reg,
+        target: usize,
+    },
     /// Unconditional jump.
     Jump(usize),
     /// Program end.
@@ -163,7 +166,10 @@ impl Program {
         let mut max_reg = 0u8;
         flatten(stmts, &mut insts, &mut max_reg);
         insts.push(Inst::Halt);
-        Program { insts, n_regs: max_reg as usize + 1 }
+        Program {
+            insts,
+            n_regs: max_reg as usize + 1,
+        }
     }
 }
 
@@ -176,17 +182,39 @@ fn track_reg(r: Reg, max: &mut u8) {
 fn track_op_regs(op: &Op, max: &mut u8) {
     use Op::*;
     match *op {
-        ConstI(a, _) | ConstF(a, _) | LaneId(a) | WarpId(a) | ThreadId(a) | BlockId(a)
-        | GridDim(a) | ActiveMask(a) => track_reg(a, max),
-        Mov(a, b) | RsqrtF(a, b) | LdShared(a, b) | StShared(a, b) | LdGlobal(a, b)
+        ConstI(a, _)
+        | ConstF(a, _)
+        | LaneId(a)
+        | WarpId(a)
+        | ThreadId(a)
+        | BlockId(a)
+        | GridDim(a)
+        | ActiveMask(a) => track_reg(a, max),
+        Mov(a, b)
+        | RsqrtF(a, b)
+        | LdShared(a, b)
+        | StShared(a, b)
+        | LdGlobal(a, b)
         | StGlobal(a, b) => {
             track_reg(a, max);
             track_reg(b, max);
         }
-        AddI(a, b, c) | SubI(a, b, c) | MulI(a, b, c) | AndI(a, b, c) | OrI(a, b, c)
-        | XorI(a, b, c) | ShlI(a, b, c) | ShrI(a, b, c) | LtI(a, b, c) | EqI(a, b, c)
-        | AddF(a, b, c) | SubF(a, b, c) | MulF(a, b, c) | LtF(a, b, c)
-        | AtomicAddGlobal(a, b, c) | Shfl(a, b, c, _) => {
+        AddI(a, b, c)
+        | SubI(a, b, c)
+        | MulI(a, b, c)
+        | AndI(a, b, c)
+        | OrI(a, b, c)
+        | XorI(a, b, c)
+        | ShlI(a, b, c)
+        | ShrI(a, b, c)
+        | LtI(a, b, c)
+        | EqI(a, b, c)
+        | AddF(a, b, c)
+        | SubF(a, b, c)
+        | MulF(a, b, c)
+        | LtF(a, b, c)
+        | AtomicAddGlobal(a, b, c)
+        | Shfl(a, b, c, _) => {
             track_reg(a, max);
             track_reg(b, max);
             track_reg(c, max);
@@ -234,14 +262,20 @@ fn flatten(stmts: &[Stmt], out: &mut Vec<Inst>, max_reg: &mut u8) {
                 flatten(then, out, max_reg);
                 if els.is_empty() {
                     let end = out.len();
-                    out[branch_at] = Inst::BranchIfZero { cond: *cond, target: end };
+                    out[branch_at] = Inst::BranchIfZero {
+                        cond: *cond,
+                        target: end,
+                    };
                 } else {
                     let jump_at = out.len();
                     out.push(Inst::Jump(0)); // placeholder
                     let else_start = out.len();
                     flatten(els, out, max_reg);
                     let end = out.len();
-                    out[branch_at] = Inst::BranchIfZero { cond: *cond, target: else_start };
+                    out[branch_at] = Inst::BranchIfZero {
+                        cond: *cond,
+                        target: else_start,
+                    };
                     out[jump_at] = Inst::Jump(end);
                 }
             }
@@ -254,7 +288,10 @@ fn flatten(stmts: &[Stmt], out: &mut Vec<Inst>, max_reg: &mut u8) {
                 flatten(body, out, max_reg);
                 out.push(Inst::Jump(loop_start));
                 let end = out.len();
-                out[branch_at] = Inst::BranchIfZero { cond: *cond, target: end };
+                out[branch_at] = Inst::BranchIfZero {
+                    cond: *cond,
+                    target: end,
+                };
             }
         }
     }
@@ -285,17 +322,40 @@ pub enum OpClass {
 pub fn op_class(inst: &Inst) -> OpClass {
     match inst {
         Inst::Op(op) => match op {
-            Op::AddI(..) | Op::SubI(..) | Op::MulI(..) | Op::AndI(..) | Op::OrI(..)
-            | Op::XorI(..) | Op::ShlI(..) | Op::ShrI(..) | Op::LtI(..) | Op::EqI(..)
-            | Op::ConstI(..) | Op::LaneId(..) | Op::WarpId(..) | Op::ThreadId(..)
-            | Op::BlockId(..) | Op::GridDim(..) | Op::ActiveMask(..) => OpClass::Int,
-            Op::AddF(..) | Op::SubF(..) | Op::MulF(..) | Op::LtF(..) | Op::ConstF(..) => OpClass::Fp,
+            Op::AddI(..)
+            | Op::SubI(..)
+            | Op::MulI(..)
+            | Op::AndI(..)
+            | Op::OrI(..)
+            | Op::XorI(..)
+            | Op::ShlI(..)
+            | Op::ShrI(..)
+            | Op::LtI(..)
+            | Op::EqI(..)
+            | Op::ConstI(..)
+            | Op::LaneId(..)
+            | Op::WarpId(..)
+            | Op::ThreadId(..)
+            | Op::BlockId(..)
+            | Op::GridDim(..)
+            | Op::ActiveMask(..) => OpClass::Int,
+            Op::AddF(..) | Op::SubF(..) | Op::MulF(..) | Op::LtF(..) | Op::ConstF(..) => {
+                OpClass::Fp
+            }
             Op::FmaF(..) => OpClass::Fma,
             Op::RsqrtF(..) => OpClass::Special,
-            Op::LdShared(..) | Op::StShared(..) | Op::LdGlobal(..) | Op::StGlobal(..)
+            Op::LdShared(..)
+            | Op::StShared(..)
+            | Op::LdGlobal(..)
+            | Op::StGlobal(..)
             | Op::AtomicAddGlobal(..) => OpClass::Memory,
-            Op::Shfl(..) | Op::ShflXor(..) | Op::ShflUp(..) | Op::ShflDown(..)
-            | Op::Ballot(..) | Op::VoteAll(..) | Op::VoteAny(..) => OpClass::Shuffle,
+            Op::Shfl(..)
+            | Op::ShflXor(..)
+            | Op::ShflUp(..)
+            | Op::ShflDown(..)
+            | Op::Ballot(..)
+            | Op::VoteAll(..)
+            | Op::VoteAny(..) => OpClass::Shuffle,
             Op::SyncWarp(..) | Op::SyncThreads | Op::GridSync => OpClass::Sync,
             Op::Mov(..) => OpClass::Control,
         },
@@ -364,7 +424,13 @@ mod tests {
         }]);
         // 0: branch→3 (else), 1: then, 2: jump→4, 3: else, 4: Halt
         assert_eq!(p.insts.len(), 5);
-        assert_eq!(p.insts[0], Inst::BranchIfZero { cond: Reg(0), target: 3 });
+        assert_eq!(
+            p.insts[0],
+            Inst::BranchIfZero {
+                cond: Reg(0),
+                target: 3
+            }
+        );
         assert_eq!(p.insts[2], Inst::Jump(4));
     }
 
@@ -377,7 +443,13 @@ mod tests {
         }]);
         // 0: pre, 1: branch→4, 2: body, 3: jump→0, 4: Halt
         assert_eq!(p.insts[3], Inst::Jump(0));
-        assert_eq!(p.insts[1], Inst::BranchIfZero { cond: Reg(1), target: 4 });
+        assert_eq!(
+            p.insts[1],
+            Inst::BranchIfZero {
+                cond: Reg(1),
+                target: 4
+            }
+        );
     }
 
     #[test]
@@ -389,7 +461,10 @@ mod tests {
     #[test]
     fn costs_order_sanely() {
         assert!(op_cost(&Inst::Op(Op::GridSync)) > op_cost(&Inst::Op(Op::SyncThreads)));
-        assert!(op_cost(&Inst::Op(Op::SyncThreads)) > op_cost(&Inst::Op(Op::SyncWarp(MaskSpec::Const(FULL_MASK)))));
+        assert!(
+            op_cost(&Inst::Op(Op::SyncThreads))
+                > op_cost(&Inst::Op(Op::SyncWarp(MaskSpec::Const(FULL_MASK))))
+        );
         assert!(op_cost(&Inst::Op(Op::AddI(Reg(0), Reg(0), Reg(0)))) == 1);
     }
 }

@@ -30,4 +30,7 @@ pub use block::{BlockOutcome, ThreadBlock};
 pub use carveout::{carveout_capacity_kib, carveout_percent_for, CARVEOUT_CANDIDATES_KIB};
 pub use grid::{Grid, GridStats};
 pub use ir::{op_class, Inst, MaskSpec, Op, OpClass, Program, Reg, Stmt, FULL_MASK};
-pub use warp::{ExecEnv, ExecError, Fragment, LaneCounts, Scheduler, StepOutcome, Waiting, Warp, POISON, WARP_SIZE};
+pub use warp::{
+    ExecEnv, ExecError, Fragment, LaneCounts, Scheduler, StepOutcome, Waiting, Warp, POISON,
+    WARP_SIZE,
+};

@@ -42,7 +42,12 @@ pub fn reduction_kernel(tsub: u32, volta_sync: bool) -> Program {
     ];
     let mut width = tsub / 2;
     while width >= 1 {
-        body.push(Stmt::Op(Op::ShflXor(tmp, val, width, MaskSpec::FromReg(mask_r))));
+        body.push(Stmt::Op(Op::ShflXor(
+            tmp,
+            val,
+            width,
+            MaskSpec::FromReg(mask_r),
+        )));
         body.push(Stmt::Op(Op::AddI(val, val, tmp)));
         if volta_sync {
             body.push(Stmt::Op(Op::SyncWarp(MaskSpec::FromReg(mask_r))));
@@ -93,7 +98,12 @@ pub fn scan_kernel(tsub: u32, volta_sync: bool) -> Program {
     let mut delta = 1u32;
     while delta < tsub {
         // tmp = value from `delta` lanes below (own value if below delta).
-        body.push(Stmt::Op(Op::ShflUp(tmp, val, delta, MaskSpec::FromReg(mask_r))));
+        body.push(Stmt::Op(Op::ShflUp(
+            tmp,
+            val,
+            delta,
+            MaskSpec::FromReg(mask_r),
+        )));
         // Only add when sublane >= delta.
         body.push(Stmt::Op(Op::ConstI(d_reg, delta as i32)));
         body.push(Stmt::Op(Op::LtI(cond, sublane, d_reg)));
@@ -127,7 +137,9 @@ pub fn run_reduction(ttot: usize, tsub: u32, volta_sync: bool, sched: Scheduler)
     let p = reduction_kernel(tsub, volta_sync);
     let n_groups = ttot / tsub as usize;
     let mut g = Grid::new(1, ttot, n_groups.max(1), 4, &p);
-    let stats = g.run(&p, sched, 50_000_000).expect("reduction kernel must terminate");
+    let stats = g
+        .run(&p, sched, 50_000_000)
+        .expect("reduction kernel must terminate");
     let mut correct = true;
     for group in 0..n_groups {
         let base = group * tsub as usize;
@@ -144,7 +156,9 @@ pub fn run_reduction(ttot: usize, tsub: u32, volta_sync: bool, sched: Scheduler)
 pub fn run_scan(ttot: usize, tsub: u32, volta_sync: bool, sched: Scheduler) -> BenchRun {
     let p = scan_kernel(tsub, volta_sync);
     let mut g = Grid::new(1, ttot, ttot, 4, &p);
-    let stats = g.run(&p, sched, 50_000_000).expect("scan kernel must terminate");
+    let stats = g
+        .run(&p, sched, 50_000_000)
+        .expect("scan kernel must terminate");
     let mut correct = true;
     for t in 0..ttot {
         let expect = (t % tsub as usize + 1) as u32;
@@ -153,65 +167,6 @@ pub fn run_scan(ttot: usize, tsub: u32, volta_sync: bool, sched: Scheduler) -> B
         }
     }
     BenchRun { stats, correct }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn reduction_correct_all_widths_both_schedulers() {
-        for tsub in [2u32, 4, 8, 16, 32] {
-            for sched in [Scheduler::Lockstep, Scheduler::Independent] {
-                for sync in [false, true] {
-                    let r = run_reduction(64, tsub, sync, sched);
-                    assert!(r.correct, "tsub={tsub} sync={sync} {sched:?}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn scan_correct_all_widths_both_schedulers() {
-        for tsub in [2u32, 4, 8, 16, 32] {
-            for sched in [Scheduler::Lockstep, Scheduler::Independent] {
-                let r = run_scan(64, tsub, true, sched);
-                assert!(r.correct, "tsub={tsub} {sched:?}");
-            }
-        }
-    }
-
-    #[test]
-    fn volta_sync_variant_costs_more_cycles() {
-        // The micro-benchmark analogue of §4.1: the extra __syncwarp()
-        // instructions are pure overhead when the Pascal mode provides
-        // implicit synchrony.
-        let with = run_reduction(128, 32, true, Scheduler::Independent);
-        let without = run_reduction(128, 32, false, Scheduler::Lockstep);
-        assert!(with.correct && without.correct);
-        assert!(
-            with.stats.total_cycles > without.stats.total_cycles,
-            "sync {} vs no-sync {}",
-            with.stats.total_cycles,
-            without.stats.total_cycles
-        );
-        assert!(with.stats.syncwarps > 0);
-        assert_eq!(without.stats.syncwarps, 0);
-    }
-
-    #[test]
-    fn smaller_tsub_needs_fewer_shuffle_stages() {
-        let narrow = run_reduction(64, 4, false, Scheduler::Lockstep);
-        let wide = run_reduction(64, 32, false, Scheduler::Lockstep);
-        assert!(narrow.stats.retired < wide.stats.retired);
-    }
-
-    #[test]
-    fn scan_handles_multi_warp_blocks() {
-        let r = run_scan(256, 16, true, Scheduler::Independent);
-        assert!(r.correct);
-        assert!(r.stats.block_syncs >= 1);
-    }
 }
 
 /// Build the gravity **flush** micro-kernel: every lane holds one sink
@@ -236,8 +191,16 @@ pub fn gravity_flush_kernel(n_sources: u32, eps2: f32) -> Program {
     // Source record.
     let (jx, jy, jz, jm) = (Reg(8), Reg(9), Reg(10), Reg(11));
     // Scratch.
-    let (dx, dy, dz, r2, rinv, t0, addr, c) =
-        (Reg(12), Reg(13), Reg(14), Reg(15), Reg(16), Reg(17), Reg(18), Reg(19));
+    let (dx, dy, dz, r2, rinv, t0, addr, c) = (
+        Reg(12),
+        Reg(13),
+        Reg(14),
+        Reg(15),
+        Reg(16),
+        Reg(17),
+        Reg(18),
+        Reg(19),
+    );
 
     let mut body = vec![
         Stmt::Op(Op::LaneId(lane)),
@@ -325,4 +288,63 @@ pub fn gravity_flush_kernel(n_sources: u32, eps2: f32) -> Program {
         Stmt::Op(Op::StShared(addr, az)),
     ]);
     Program::compile(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_correct_all_widths_both_schedulers() {
+        for tsub in [2u32, 4, 8, 16, 32] {
+            for sched in [Scheduler::Lockstep, Scheduler::Independent] {
+                for sync in [false, true] {
+                    let r = run_reduction(64, tsub, sync, sched);
+                    assert!(r.correct, "tsub={tsub} sync={sync} {sched:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_correct_all_widths_both_schedulers() {
+        for tsub in [2u32, 4, 8, 16, 32] {
+            for sched in [Scheduler::Lockstep, Scheduler::Independent] {
+                let r = run_scan(64, tsub, true, sched);
+                assert!(r.correct, "tsub={tsub} {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn volta_sync_variant_costs_more_cycles() {
+        // The micro-benchmark analogue of §4.1: the extra __syncwarp()
+        // instructions are pure overhead when the Pascal mode provides
+        // implicit synchrony.
+        let with = run_reduction(128, 32, true, Scheduler::Independent);
+        let without = run_reduction(128, 32, false, Scheduler::Lockstep);
+        assert!(with.correct && without.correct);
+        assert!(
+            with.stats.total_cycles > without.stats.total_cycles,
+            "sync {} vs no-sync {}",
+            with.stats.total_cycles,
+            without.stats.total_cycles
+        );
+        assert!(with.stats.syncwarps > 0);
+        assert_eq!(without.stats.syncwarps, 0);
+    }
+
+    #[test]
+    fn smaller_tsub_needs_fewer_shuffle_stages() {
+        let narrow = run_reduction(64, 4, false, Scheduler::Lockstep);
+        let wide = run_reduction(64, 32, false, Scheduler::Lockstep);
+        assert!(narrow.stats.retired < wide.stats.retired);
+    }
+
+    #[test]
+    fn scan_handles_multi_warp_blocks() {
+        let r = run_scan(256, 16, true, Scheduler::Independent);
+        assert!(r.correct);
+        assert!(r.stats.block_syncs >= 1);
+    }
 }

@@ -75,8 +75,14 @@ pub struct ExecEnv<'a> {
 /// misuse that we surface deterministically).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecError {
-    SharedOutOfBounds { addr: u32, size: usize },
-    GlobalOutOfBounds { addr: u32, size: usize },
+    SharedOutOfBounds {
+        addr: u32,
+        size: usize,
+    },
+    GlobalOutOfBounds {
+        addr: u32,
+        size: usize,
+    },
     /// All live fragments are blocked and none can be released — e.g. a
     /// `__syncwarp(mask)` whose mask names lanes that never arrive.
     Deadlock,
@@ -210,7 +216,11 @@ impl Warp {
                                 < (cur.executed, std::cmp::Reverse(cur.born))
                         }
                     };
-                    if better { Some(i) } else { Some(b) }
+                    if better {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
                 }
             };
         }
@@ -423,7 +433,10 @@ impl Warp {
                     let v = *env
                         .shared
                         .get(addr as usize)
-                        .ok_or(ExecError::SharedOutOfBounds { addr, size: env.shared.len() })?;
+                        .ok_or(ExecError::SharedOutOfBounds {
+                            addr,
+                            size: env.shared.len(),
+                        })?;
                     self.set_reg(l, d, v);
                 }
             }
@@ -432,8 +445,7 @@ impl Warp {
                     let addr = self.reg(l, a);
                     let v = self.reg(l, s);
                     let size = env.shared.len();
-                    *env
-                        .shared
+                    *env.shared
                         .get_mut(addr as usize)
                         .ok_or(ExecError::SharedOutOfBounds { addr, size })? = v;
                 }
@@ -444,7 +456,10 @@ impl Warp {
                     let v = *env
                         .global
                         .get(addr as usize)
-                        .ok_or(ExecError::GlobalOutOfBounds { addr, size: env.global.len() })?;
+                        .ok_or(ExecError::GlobalOutOfBounds {
+                            addr,
+                            size: env.global.len(),
+                        })?;
                     self.set_reg(l, d, v);
                 }
             }
@@ -453,8 +468,7 @@ impl Warp {
                     let addr = self.reg(l, a);
                     let v = self.reg(l, s);
                     let size = env.global.len();
-                    *env
-                        .global
+                    *env.global
                         .get_mut(addr as usize)
                         .ok_or(ExecError::GlobalOutOfBounds { addr, size })? = v;
                 }
@@ -500,8 +514,7 @@ impl Warp {
                 let snapshot: Vec<u32> = (0..WARP_SIZE).map(|l| self.reg(l, val)).collect();
                 for l in Self::lanes(mask) {
                     let s = l ^ (lanemask as usize % WARP_SIZE);
-                    let out = if pm & (1 << l) == 0 || pm & (1 << s) == 0 || mask & (1 << s) == 0
-                    {
+                    let out = if pm & (1 << l) == 0 || pm & (1 << s) == 0 || mask & (1 << s) == 0 {
                         POISON
                     } else {
                         snapshot[s]
@@ -617,7 +630,10 @@ impl Warp {
     #[inline]
     fn bin_f(&mut self, mask: u32, d: Reg, a: Reg, b: Reg, f: impl Fn(f32, f32) -> f32) {
         for l in Self::lanes(mask) {
-            let v = f(f32::from_bits(self.reg(l, a)), f32::from_bits(self.reg(l, b)));
+            let v = f(
+                f32::from_bits(self.reg(l, a)),
+                f32::from_bits(self.reg(l, b)),
+            );
             self.set_reg(l, d, v.to_bits());
         }
     }
@@ -647,7 +663,12 @@ mod tests {
     use crate::ir::{Program, Stmt, FULL_MASK};
 
     fn env<'a>(shared: &'a mut Vec<u32>, global: &'a mut Vec<u32>) -> ExecEnv<'a> {
-        ExecEnv { shared, global, block_id: 0, grid_dim: 1 }
+        ExecEnv {
+            shared,
+            global,
+            block_id: 0,
+            grid_dim: 1,
+        }
     }
 
     /// Run one warp to completion, returning it.
@@ -776,7 +797,12 @@ mod tests {
         let tmp = Reg(1);
         let mut body = vec![Stmt::Op(Op::LaneId(val))];
         for width in [16u32, 8, 4, 2, 1] {
-            body.push(Stmt::Op(Op::ShflXor(tmp, val, width, MaskSpec::Const(FULL_MASK))));
+            body.push(Stmt::Op(Op::ShflXor(
+                tmp,
+                val,
+                width,
+                MaskSpec::Const(FULL_MASK),
+            )));
             body.push(Stmt::Op(Op::AddI(val, val, tmp)));
         }
         let p = Program::compile(&body);
@@ -907,7 +933,12 @@ mod tests {
         let mut shared = vec![0u32; 1];
         let mut global = vec![0u32; 1];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+        let mut e = ExecEnv {
+            shared: &mut shared,
+            global: &mut global,
+            block_id: 0,
+            grid_dim: 1,
+        };
         // The spinner never reaches a syncwarp, so the full-mask barrier
         // can never be satisfied: bound the steps and verify the waiting
         // fragment stays blocked.
@@ -920,7 +951,10 @@ mod tests {
                 .any(|f| matches!(f.waiting, Some(Waiting::SyncWarp(FULL_MASK)))),
             "lower half must still be blocked at the full-mask barrier"
         );
-        assert!(w.frags.len() >= 2, "divergent fragments must not have merged");
+        assert!(
+            w.frags.len() >= 2,
+            "divergent fragments must not have merged"
+        );
     }
 
     #[test]
@@ -933,7 +967,12 @@ mod tests {
         let mut shared = vec![0u32; 4];
         let mut global = vec![0u32; 4];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+        let mut e = ExecEnv {
+            shared: &mut shared,
+            global: &mut global,
+            block_id: 0,
+            grid_dim: 1,
+        };
         let mut err = None;
         for _ in 0..10 {
             match w.step(&p, Scheduler::Lockstep, &mut e) {
@@ -991,7 +1030,12 @@ mod tests {
         let mut shared = vec![0u32; 1];
         let mut global = vec![0u32; 1];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+        let mut e = ExecEnv {
+            shared: &mut shared,
+            global: &mut global,
+            block_id: 0,
+            grid_dim: 1,
+        };
         while w.step(&p, Scheduler::Lockstep, &mut e).unwrap() != StepOutcome::Done {}
         assert_eq!(global[0], 32);
         let mut olds: Vec<u32> = (0..WARP_SIZE).map(|l| w.reg(l, Reg(2))).collect();

@@ -22,11 +22,15 @@ fn run() -> (simt::LaneCounts, Vec<f32>) {
     }
     let mut global = vec![0u32; 4];
     let mut w = Warp::new(0, &p);
-    let mut env = ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+    let mut env = ExecEnv {
+        shared: &mut shared,
+        global: &mut global,
+        block_id: 0,
+        grid_dim: 1,
+    };
     loop {
-        match w.step(&p, Scheduler::Independent, &mut env).unwrap() {
-            StepOutcome::Done => break,
-            _ => {}
+        if w.step(&p, Scheduler::Independent, &mut env).unwrap() == StepOutcome::Done {
+            break;
         }
     }
     let az: Vec<f32> = (0..32)
@@ -40,7 +44,7 @@ fn run() -> (simt::LaneCounts, Vec<f32>) {
 #[test]
 fn flush_kernel_computes_correct_forces() {
     let (_, az) = run();
-    for lane in 0..32usize {
+    for (lane, &got) in az.iter().enumerate() {
         let s = (0.1 * lane as f32, 0.2 * lane as f32, -0.1 * lane as f32);
         let mut expect = 0.0f32;
         for j in 0..N_SOURCES as usize {
@@ -51,7 +55,6 @@ fn flush_kernel_computes_correct_forces() {
             let rinv = 1.0 / r2.sqrt();
             expect += dz * (jm * rinv * rinv * rinv);
         }
-        let got = az[lane];
         let rel = ((got - expect) / expect.abs().max(1e-6)).abs();
         assert!(rel < 1e-3, "lane {lane}: az = {got} vs reference {expect}");
     }
@@ -105,8 +108,12 @@ fn flush_kernel_is_scheduler_equivalent() {
         }
         let mut global = vec![0u32; 4];
         let mut w = Warp::new(0, &p);
-        let mut env =
-            ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+        let mut env = ExecEnv {
+            shared: &mut shared,
+            global: &mut global,
+            block_id: 0,
+            grid_dim: 1,
+        };
         while w.step(&p, sched, &mut env).unwrap() != StepOutcome::Done {}
         results.push((w.lane_counts, shared.clone()));
     }

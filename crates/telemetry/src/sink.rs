@@ -1,0 +1,318 @@
+//! The process-wide trace sink: JSON-lines structured events to a file,
+//! stderr, or an in-memory buffer (tests), plus the human-readable
+//! breakdown table renderer.
+//!
+//! One event per line, each a self-contained JSON object with a `type`
+//! discriminator:
+//!
+//! | `type`     | emitted by                         | fields |
+//! |------------|------------------------------------|--------|
+//! | `meta`     | sink initialisation                | `version`, `schema` |
+//! | `span`     | [`crate::span`] guards on drop     | `name`, `depth`, `thread`, `t_ns`, `dur_ns` |
+//! | `step`     | `gothic::pipeline` per block step  | `step`, `t`, `n_active`, `rebuilt`, `modeled_s`, `wall_s`, event totals |
+//! | `counters` | [`emit_counters`]                  | every registry counter, by name |
+//!
+//! The sink is behind a `Mutex`; span emission is per phase (a handful
+//! of events per block step), so lock traffic is negligible next to the
+//! work being measured.
+
+use crate::json::JsonObject;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Trace format version (bump on schema changes; readers check `meta`).
+pub const TRACE_VERSION: u32 = 1;
+
+enum Target {
+    File(BufWriter<File>),
+    Stderr,
+    Memory(Vec<String>),
+}
+
+static SINK: Mutex<Option<Target>> = Mutex::new(None);
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process trace epoch: all `t_ns` timestamps are relative to it.
+/// First access pins it; sink initialisation calls this eagerly.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_LABEL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense per-thread label for trace events (0 = first thread that
+/// emitted, usually the driver).
+pub fn thread_label() -> u64 {
+    THREAD_LABEL.with(|l| *l)
+}
+
+fn lock() -> MutexGuard<'static, Option<Target>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn install(t: Target) {
+    epoch();
+    let meta = {
+        let mut o = JsonObject::new();
+        o.str("type", "meta")
+            .u64("version", TRACE_VERSION as u64)
+            .str("schema", "span|step|counters");
+        o.finish()
+    };
+    let mut g = lock();
+    *g = Some(t);
+    write_line(&mut g, &meta);
+    drop(g);
+    crate::enable_all();
+}
+
+/// Install a file sink at `path` and enable spans + metrics.
+pub fn init_trace_file(path: &Path) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    install(Target::File(BufWriter::new(f)));
+    Ok(())
+}
+
+/// Install a stderr sink and enable spans + metrics.
+pub fn init_trace_stderr() {
+    install(Target::Stderr);
+}
+
+/// Install an in-memory sink (tests) and enable spans + metrics.
+pub fn init_trace_memory() {
+    install(Target::Memory(Vec::new()));
+}
+
+/// True when a sink is installed.
+pub fn trace_active() -> bool {
+    lock().is_some()
+}
+
+/// Drain the lines collected by a memory sink (empty for other sinks).
+pub fn drain_memory() -> Vec<String> {
+    match &mut *lock() {
+        Some(Target::Memory(v)) => std::mem::take(v),
+        _ => Vec::new(),
+    }
+}
+
+/// Flush and remove the sink; disables spans and metrics.
+pub fn shutdown() {
+    crate::disable_all();
+    let mut g = lock();
+    if let Some(Target::File(w)) = &mut *g {
+        let _ = w.flush();
+    }
+    *g = None;
+}
+
+fn write_line(g: &mut MutexGuard<'_, Option<Target>>, line: &str) {
+    match &mut **g {
+        None => {}
+        Some(Target::File(w)) => {
+            let _ = writeln!(w, "{line}");
+        }
+        Some(Target::Stderr) => {
+            eprintln!("{line}");
+        }
+        Some(Target::Memory(v)) => v.push(line.to_string()),
+    }
+}
+
+/// Emit one pre-built event object as a trace line.
+pub fn emit(obj: &JsonObject) {
+    let line = obj.finish();
+    write_line(&mut lock(), &line);
+}
+
+/// Record one completed span (called by the [`crate::SpanGuard`] drop).
+pub fn record_span(name: &'static str, depth: u32, t_ns: u64, dur_ns: u64) {
+    let mut o = JsonObject::new();
+    o.str("type", "span")
+        .str("name", name)
+        .u64("depth", depth as u64)
+        .u64("thread", thread_label())
+        .u64("t_ns", t_ns)
+        .u64("dur_ns", dur_ns);
+    emit(&o);
+}
+
+/// Emit a `counters` line carrying the full registry snapshot.
+pub fn emit_counters() {
+    let mut inner = JsonObject::new();
+    for (name, value) in crate::metrics::snapshot() {
+        inner.u64(name, value);
+    }
+    let mut o = JsonObject::new();
+    o.str("type", "counters").raw("counters", &inner.finish());
+    emit(&o);
+}
+
+/// Render the modeled-vs-measured breakdown table:
+///
+/// ```text
+/// function     modeled s/step   wall s/step   modeled %   wall %
+/// walk tree        1.234e-2       5.67e-3        81.2      64.3
+/// ...
+/// total            ...
+/// ```
+///
+/// `rows` are `(name, modeled_seconds, wall_seconds)` totals; `steps`
+/// normalises them to per-step values.
+pub fn breakdown_table(title: &str, rows: &[(&str, f64, f64)], steps: u64) -> String {
+    let steps = steps.max(1) as f64;
+    let modeled_total: f64 = rows.iter().map(|r| r.1).sum();
+    let wall_total: f64 = rows.iter().map(|r| r.2).sum();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "  {:<11} {:>14} {:>13} {:>10} {:>8}\n",
+        "function", "modeled s/step", "wall s/step", "modeled %", "wall %"
+    ));
+    for (name, modeled, wall) in rows {
+        out.push_str(&format!(
+            "  {:<11} {:>14.3e} {:>13.3e} {:>10.1} {:>8.1}\n",
+            name,
+            modeled / steps,
+            wall / steps,
+            100.0 * modeled / modeled_total.max(f64::MIN_POSITIVE),
+            100.0 * wall / wall_total.max(f64::MIN_POSITIVE),
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<11} {:>14.3e} {:>13.3e} {:>10.1} {:>8.1}\n",
+        "total",
+        modeled_total / steps,
+        wall_total / steps,
+        100.0,
+        100.0
+    ));
+    out
+}
+
+/// Render the counter registry as an aligned two-column table, skipping
+/// zero counters (pass `include_zero = true` to keep them).
+pub fn counters_table(include_zero: bool) -> String {
+    let mut out = String::new();
+    out.push_str("counters:\n");
+    for (name, value) in crate::metrics::snapshot() {
+        if value == 0 && !include_zero {
+            continue;
+        }
+        out.push_str(&format!("  {name:<28} {value:>16}\n"));
+    }
+    out
+}
+
+/// Global lock serialising tests that touch the process-wide sink and
+/// enable flags. Public so dependent crates' integration tests can
+/// serialise too.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn memory_sink_collects_meta_and_counter_lines() {
+        let _g = test_lock();
+        init_trace_memory();
+        crate::metrics::reset_all();
+        crate::metrics::counters::WALK_INTERACTIONS.add(7);
+        emit_counters();
+        let lines = drain_memory();
+        shutdown();
+        assert!(lines.len() >= 2);
+        let meta = json::parse(&lines[0]).unwrap();
+        assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(
+            meta.get("version").unwrap().as_u64(),
+            Some(TRACE_VERSION as u64)
+        );
+        let counters = json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(counters.get("type").unwrap().as_str(), Some("counters"));
+        let inner = counters.get("counters").unwrap();
+        assert_eq!(inner.get("walk.interactions").unwrap().as_u64(), Some(7));
+        // Every registered counter appears in the snapshot line.
+        assert_eq!(
+            inner.as_obj().unwrap().len(),
+            crate::metrics::counters::ALL.len()
+        );
+        crate::metrics::reset_all();
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_json_lines() {
+        let _g = test_lock();
+        let path = std::env::temp_dir().join("telemetry_sink_test.jsonl");
+        init_trace_file(&path).unwrap();
+        {
+            let _s = crate::span("file test");
+        }
+        emit_counters();
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let v = json::parse(line).expect("every trace line parses");
+            types.push(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(types[0], "meta");
+        assert!(types.contains(&"span".to_string()));
+        assert!(types.contains(&"counters".to_string()));
+    }
+
+    #[test]
+    fn shutdown_disables_recording_and_drops_sink() {
+        let _g = test_lock();
+        init_trace_memory();
+        assert!(trace_active());
+        assert!(crate::spans_enabled());
+        shutdown();
+        assert!(!trace_active());
+        assert!(!crate::spans_enabled());
+        // Emission without a sink is a silent no-op.
+        record_span("ghost", 0, 0, 1);
+    }
+
+    #[test]
+    fn breakdown_table_lists_all_rows_and_total() {
+        let rows = [("walk tree", 8.0, 4.0), ("calc node", 2.0, 1.0)];
+        let t = breakdown_table("breakdown:", &rows, 2);
+        assert!(t.contains("walk tree"));
+        assert!(t.contains("calc node"));
+        assert!(t.contains("total"));
+        // 8 of 10 modeled seconds → 80%.
+        assert!(t.contains("80.0"), "{t}");
+    }
+
+    #[test]
+    fn counters_table_hides_zeros_by_default() {
+        let _g = test_lock();
+        crate::metrics::reset_all();
+        crate::set_metrics_enabled(true);
+        crate::metrics::counters::SORT_RADIX_PASSES.add(3);
+        crate::set_metrics_enabled(false);
+        let t = counters_table(false);
+        assert!(t.contains("sort.radix_passes"));
+        assert!(!t.contains("walk.mac_evals"));
+        let full = counters_table(true);
+        assert!(full.contains("walk.mac_evals"));
+        crate::metrics::reset_all();
+    }
+}

@@ -13,8 +13,14 @@ use gothic::nbody::units;
 use gothic::{Function, Gothic, Profile, RunConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
-    let steps: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(48);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16_384);
+    let steps: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
 
     let model = M31Model::paper_model();
     println!("M31 model (paper §2.2):");
@@ -57,7 +63,10 @@ fn main() {
         sim.time() * units::time_unit_myr(),
         rebuilds
     );
-    println!("relative energy drift: {:.2e}", e1.relative_energy_drift(&e0));
+    println!(
+        "relative energy drift: {:.2e}",
+        e1.relative_energy_drift(&e0)
+    );
     println!();
     println!("modeled V100 (Pascal mode) cost breakdown per step:");
     for f in Function::ALL {

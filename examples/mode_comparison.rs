@@ -15,7 +15,10 @@ use gothic::simt::Scheduler;
 use gothic::{price_step, Function, Gothic, RunConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8192);
 
     // Part 1: semantics. A warp reduction with Volta-style syncs is
     // correct under both schedulers; the issue-cycle overhead of the

@@ -25,7 +25,10 @@ fn lagrangian_radii(sim: &Gothic, fractions: &[f64]) -> Vec<f64> {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8192);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8192);
     println!("cold collapse of a Plummer sphere, N = {n} (virial ratio 0.25)");
 
     let mut particles = plummer_model(n, 100.0, 1.0, 11);
@@ -34,7 +37,9 @@ fn main() {
     }
 
     let cfg = RunConfig {
-        mac: Mac::Acceleration { delta_acc: 2.0f32.powi(-7) },
+        mac: Mac::Acceleration {
+            delta_acc: 2.0f32.powi(-7),
+        },
         eps: 0.02,
         eta: 0.3,
         dt_max: 1.0 / 32.0,

@@ -10,7 +10,10 @@ use gothic::nbody::units;
 use gothic::{Gothic, RunConfig};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16_384);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16_384);
     println!("GOTHIC quickstart: Plummer sphere, N = {n}");
     println!(
         "units: 1 length = 1 kpc, 1 mass = 1e8 Msun, 1 velocity = {:.2} km/s, 1 time = {:.2} Myr",
@@ -36,7 +39,7 @@ fn main() {
 
     for _ in 0..32 {
         let r = sim.step();
-        if r.step % 4 == 0 || r.rebuilt {
+        if r.step.is_multiple_of(4) || r.rebuilt {
             println!(
                 "{:>5} {:>10.3} {:>8} {:>9} {:>12.3e} s {:>12}",
                 r.step,

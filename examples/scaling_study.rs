@@ -10,7 +10,10 @@ use gothic::gpu_model::{capacity, ExecMode, GpuArch, GridBarrier};
 use gothic::{price_step, Gothic, Profile, RunConfig};
 
 fn main() {
-    let max_pow: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(14);
+    let max_pow: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(14);
     let archs = [
         (GpuArch::tesla_v100(), ExecMode::PascalMode),
         (GpuArch::tesla_p100(), ExecMode::PascalMode),

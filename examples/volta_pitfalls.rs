@@ -15,7 +15,12 @@ fn run_warp(p: &Program, sched: Scheduler) -> Warp {
     let mut shared = vec![0u32; 64];
     let mut global = vec![0u32; 16];
     let mut w = Warp::new(0, p);
-    let mut env = ExecEnv { shared: &mut shared, global: &mut global, block_id: 0, grid_dim: 1 };
+    let mut env = ExecEnv {
+        shared: &mut shared,
+        global: &mut global,
+        block_id: 0,
+        grid_dim: 1,
+    };
     while w.step(p, sched, &mut env).unwrap() != StepOutcome::Done {}
     w
 }
@@ -26,8 +31,16 @@ fn pitfall_1_implicit_synchrony() {
     println!("  if (lane < 16) shared[lane] = lane + 1000;");
     println!("  out = shared[lane & 15];   // no __syncwarp()");
     let build = |with_sync: bool| {
-        let (lane, c16, cond, val, addr, out, c1000, c15) =
-            (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+        let (lane, c16, cond, val, addr, out, c1000, c15) = (
+            Reg(0),
+            Reg(1),
+            Reg(2),
+            Reg(3),
+            Reg(4),
+            Reg(5),
+            Reg(6),
+            Reg(7),
+        );
         let mut stmts = vec![
             Stmt::Op(Op::LaneId(lane)),
             Stmt::Op(Op::ConstI(c16, 16)),
@@ -53,11 +66,20 @@ fn pitfall_1_implicit_synchrony() {
     let stale = |w: &Warp| (16..32).filter(|&l| w.reg(l, Reg(5)) == 0).count();
 
     let w = run_warp(&build(false), Scheduler::Lockstep);
-    println!("  Pascal mode (lockstep)      : {} stale reads — implicit sync saves it", stale(&w));
+    println!(
+        "  Pascal mode (lockstep)      : {} stale reads — implicit sync saves it",
+        stale(&w)
+    );
     let w = run_warp(&build(false), Scheduler::Independent);
-    println!("  Volta, no __syncwarp()      : {} stale reads — THE BUG", stale(&w));
+    println!(
+        "  Volta, no __syncwarp()      : {} stale reads — THE BUG",
+        stale(&w)
+    );
     let w = run_warp(&build(true), Scheduler::Independent);
-    println!("  Volta, with __syncwarp()    : {} stale reads — the recipe", stale(&w));
+    println!(
+        "  Volta, with __syncwarp()    : {} stale reads — the recipe",
+        stale(&w)
+    );
     println!();
 }
 
@@ -73,11 +95,20 @@ fn pitfall_2_shuffle_masks() {
     };
     let poisoned = |w: &Warp| (0..32).filter(|&l| w.reg(l, Reg(1)) == POISON).count();
     let w = run_warp(&program(MaskSpec::Const(0xffff)), Scheduler::Lockstep);
-    println!("  mask = 0xffff               : {} lanes undefined (upper half!)", poisoned(&w));
+    println!(
+        "  mask = 0xffff               : {} lanes undefined (upper half!)",
+        poisoned(&w)
+    );
     let w = run_warp(&program(MaskSpec::Const(FULL_MASK)), Scheduler::Lockstep);
-    println!("  mask = 0xffffffff           : {} lanes undefined", poisoned(&w));
+    println!(
+        "  mask = 0xffffffff           : {} lanes undefined",
+        poisoned(&w)
+    );
     let w = run_warp(&program(MaskSpec::FromReg(Reg(2))), Scheduler::Independent);
-    println!("  mask = __activemask()       : {} lanes undefined — the runtime recipe", poisoned(&w));
+    println!(
+        "  mask = __activemask()       : {} lanes undefined — the runtime recipe",
+        poisoned(&w)
+    );
     println!();
 }
 
@@ -120,7 +151,10 @@ fn pitfall_4_divergence_duration() {
         let w = run_warp(&p, sched);
         let masks: std::collections::BTreeSet<u32> = (0..32).map(|l| w.reg(l, Reg(3))).collect();
         let desc: Vec<String> = masks.iter().map(|m| format!("{m:#010x}")).collect();
-        println!("  {sched:?}: post-branch activemask values = {{{}}}", desc.join(", "));
+        println!(
+            "  {sched:?}: post-branch activemask values = {{{}}}",
+            desc.join(", ")
+        );
     }
     println!("  (a single 0xffffffff means reconverged; two half-masks mean the");
     println!("   divergence persisted past the branch — insert a __syncwarp())");

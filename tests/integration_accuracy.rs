@@ -13,11 +13,18 @@ fn tree_vs_direct(ps: &mut ParticleSet, mac: Mac, eps2: Real) -> (Vec<f64>, u64)
     let n = ps.len();
     let active: Vec<u32> = (0..n as u32).collect();
     let a_old = vec![1.0 as Real; n];
-    let res = walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &WalkConfig {
-        mac,
-        eps2,
-        ..WalkConfig::default()
-    });
+    let res = walk_tree(
+        &tree,
+        &ps.pos,
+        &ps.mass,
+        &a_old,
+        &active,
+        &WalkConfig {
+            mac,
+            eps2,
+            ..WalkConfig::default()
+        },
+    );
     let sources: Vec<Source> = ps
         .pos
         .iter()
@@ -43,7 +50,9 @@ fn m31_force_errors_decrease_with_delta_acc() {
         let mut ps = M31Model::paper_model().sample(2048, 11);
         let (errs, _) = tree_vs_direct(
             &mut ps,
-            Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-exp),
+            },
             1e-4,
         );
         let med = percentile(errs, 0.5);
@@ -74,7 +83,9 @@ fn work_grows_as_accuracy_tightens_but_stays_sub_n_squared() {
         let mut ps = M31Model::paper_model().sample(n as usize, 13);
         let (_, inter) = tree_vs_direct(
             &mut ps,
-            Mac::Acceleration { delta_acc: 2.0f32.powi(-exp) },
+            Mac::Acceleration {
+                delta_acc: 2.0f32.powi(-exp),
+            },
             1e-4,
         );
         assert!(inter > prev, "interactions must grow with accuracy");

@@ -24,7 +24,11 @@ fn m31_sample_is_near_virial_equilibrium() {
 #[test]
 fn rotation_curve_is_m31_like() {
     let pot = M31Model::paper_model().potential();
-    for (r, lo, hi) in [(5.0, 150.0, 330.0), (10.0, 180.0, 320.0), (25.0, 170.0, 300.0)] {
+    for (r, lo, hi) in [
+        (5.0, 150.0, 330.0),
+        (10.0, 180.0, 320.0),
+        (25.0, 170.0, 300.0),
+    ] {
         let vc = pot.v_circ(r) * units::velocity_unit_kms();
         assert!((lo..hi).contains(&vc), "v_c({r} kpc) = {vc} km/s");
     }
@@ -110,7 +114,10 @@ fn m31_survives_dynamical_evolution_without_artifacts() {
     let r_half_after = half_mass_radius(&sim);
     // An equilibrium model must neither collapse nor evaporate.
     let ratio = r_half_after / r_half_before;
-    assert!((0.8..1.25).contains(&ratio), "half-mass radius ratio {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "half-mass radius ratio {ratio}"
+    );
 }
 
 fn half_mass_radius(sim: &gothic::Gothic) -> f64 {

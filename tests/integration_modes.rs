@@ -3,7 +3,9 @@
 //! event streams.
 
 use gothic::galaxy::M31Model;
-use gothic::gpu_model::{capacity, predict_speedup, sustained_tflops, ExecMode, GpuArch, GridBarrier};
+use gothic::gpu_model::{
+    capacity, predict_speedup, sustained_tflops, ExecMode, GpuArch, GridBarrier,
+};
 use gothic::{price_step, Function, Gothic, RunConfig, StepEvents};
 
 /// Run a short M31 simulation and return the mean per-step events.
@@ -86,13 +88,19 @@ fn v100_speedup_band_matches_paper() {
     }
     // Paper: 1.4–2.2, larger at tighter accuracy, exceeding the peak
     // ratio there.
-    assert!(speedups.windows(2).all(|w| w[0] <= w[1] * 1.02), "{speedups:?}");
+    assert!(
+        speedups.windows(2).all(|w| w[0] <= w[1] * 1.02),
+        "{speedups:?}"
+    );
     assert!(
         *speedups.last().unwrap() > peak_ratio,
         "tight-accuracy speed-up {} must exceed the peak ratio {peak_ratio}",
         speedups.last().unwrap()
     );
-    assert!(speedups.iter().all(|&s| (1.3..2.6).contains(&s)), "{speedups:?}");
+    assert!(
+        speedups.iter().all(|&s| (1.3..2.6).contains(&s)),
+        "{speedups:?}"
+    );
 }
 
 #[test]
@@ -128,8 +136,7 @@ fn older_gpus_are_slower_across_the_lineup() {
     let ev = at_paper_scale(&measured_events(2048, 2.0f32.powi(-9), 8), 2048);
     let mut last = 0.0;
     for arch in GpuArch::paper_lineup() {
-        let t = price_step(&ev, &arch, ExecMode::PascalMode, GridBarrier::LockFree)
-            .total_seconds();
+        let t = price_step(&ev, &arch, ExecMode::PascalMode, GridBarrier::LockFree).total_seconds();
         assert!(t > last, "{} must be slower than its successor", arch.name);
         last = t;
     }
@@ -159,7 +166,15 @@ fn cooperative_groups_pricing_matches_appendix_a() {
     let v100 = GpuArch::tesla_v100();
     let ev = at_paper_scale(&measured_events(2048, 2.0f32.powi(-9), 8), 2048);
     let lf = price_step(&ev, &v100, ExecMode::PascalMode, GridBarrier::LockFree);
-    let cg = price_step(&ev, &v100, ExecMode::PascalMode, GridBarrier::CooperativeGroups);
+    let cg = price_step(
+        &ev,
+        &v100,
+        ExecMode::PascalMode,
+        GridBarrier::CooperativeGroups,
+    );
     let per_sync = (cg.calc_node.seconds - lf.calc_node.seconds) / ev.calc.grid_syncs as f64;
-    assert!((per_sync - 2.3e-5).abs() < 1e-6, "per-sync extra {per_sync}");
+    assert!(
+        (per_sync - 2.3e-5).abs() < 1e-6,
+        "per-sync extra {per_sync}"
+    );
 }

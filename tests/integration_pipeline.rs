@@ -73,7 +73,10 @@ fn auto_rebuild_interval_shrinks_with_accuracy() {
         tight >= loose,
         "tight accuracy must rebuild at least as often: tight {tight} vs loose {loose}"
     );
-    assert!(tight >= 2, "tight accuracy must rebuild more than the initial build");
+    assert!(
+        tight >= 2,
+        "tight accuracy must rebuild more than the initial build"
+    );
 }
 
 #[test]
@@ -84,7 +87,11 @@ fn fixed_rebuild_policy_is_deterministic() {
     };
     let mut sim = Gothic::new(m31(1024, 5), cfg);
     let reports = sim.run(15);
-    let steps: Vec<u64> = reports.iter().filter(|r| r.rebuilt).map(|r| r.step).collect();
+    let steps: Vec<u64> = reports
+        .iter()
+        .filter(|r| r.rebuilt)
+        .map(|r| r.step)
+        .collect();
     assert_eq!(steps, vec![1, 6, 11]);
 }
 

@@ -7,8 +7,8 @@ use gothic::gpu_model::occupancy::{occupancy, BlockResources};
 use gothic::gpu_model::GpuArch;
 use gothic::simt::microbench::{run_reduction, run_scan};
 use gothic::simt::{
-    carveout_capacity_kib, carveout_percent_for, Grid, MaskSpec, Op, Program, Reg, Scheduler,
-    Stmt, Warp, FULL_MASK, POISON,
+    carveout_capacity_kib, carveout_percent_for, Grid, MaskSpec, Op, Program, Reg, Scheduler, Stmt,
+    Warp, FULL_MASK, POISON,
 };
 use gothic::simt::{ExecEnv, StepOutcome};
 
@@ -17,11 +17,15 @@ fn run_warp(p: &Program, sched: Scheduler, shared: usize) -> (Warp, Vec<u32>) {
     let mut sh = vec![0u32; shared];
     let mut gl = vec![0u32; 16];
     let mut w = Warp::new(0, p);
-    let mut env = ExecEnv { shared: &mut sh, global: &mut gl, block_id: 0, grid_dim: 1 };
+    let mut env = ExecEnv {
+        shared: &mut sh,
+        global: &mut gl,
+        block_id: 0,
+        grid_dim: 1,
+    };
     for _ in 0..200_000 {
-        match w.step(p, sched, &mut env).unwrap() {
-            StepOutcome::Done => break,
-            _ => {}
+        if w.step(p, sched, &mut env).unwrap() == StepOutcome::Done {
+            break;
         }
     }
     assert!(w.is_done());
@@ -102,7 +106,11 @@ fn shuffle_mask_rules_match_section_2_1() {
     let (w, _) = run_warp(&program(MaskSpec::Const(FULL_MASK)), Scheduler::Lockstep, 1);
     assert!((0..32).all(|l| w.reg(l, Reg(1)) == (l as u32 ^ 1)));
     // activemask(): correct at runtime in both cases — the paper's recipe.
-    let (w, _) = run_warp(&program(MaskSpec::FromReg(Reg(2))), Scheduler::Independent, 1);
+    let (w, _) = run_warp(
+        &program(MaskSpec::FromReg(Reg(2))),
+        Scheduler::Independent,
+        1,
+    );
     assert!((0..32).all(|l| w.reg(l, Reg(1)) == (l as u32 ^ 1)));
 }
 
@@ -121,8 +129,14 @@ fn carveout_pitfall_66_vs_67() {
 fn table2_subgroup_widths_all_work() {
     for tsub in [8u32, 16, 32] {
         for sched in [Scheduler::Lockstep, Scheduler::Independent] {
-            assert!(run_reduction(256, tsub, true, sched).correct, "reduction {tsub} {sched:?}");
-            assert!(run_scan(256, tsub, true, sched).correct, "scan {tsub} {sched:?}");
+            assert!(
+                run_reduction(256, tsub, true, sched).correct,
+                "reduction {tsub} {sched:?}"
+            );
+            assert!(
+                run_scan(256, tsub, true, sched).correct,
+                "scan {tsub} {sched:?}"
+            );
         }
     }
     let synced = run_reduction(256, 32, true, Scheduler::Independent);
@@ -135,8 +149,22 @@ fn table2_subgroup_widths_all_work() {
 #[test]
 fn appendix_a_occupancy_drop() {
     let v100 = GpuArch::tesla_v100();
-    let orig = occupancy(&v100, &BlockResources { threads: 128, regs_per_thread: 56, shared_bytes: 0 });
-    let cg = occupancy(&v100, &BlockResources { threads: 128, regs_per_thread: 64, shared_bytes: 0 });
+    let orig = occupancy(
+        &v100,
+        &BlockResources {
+            threads: 128,
+            regs_per_thread: 56,
+            shared_bytes: 0,
+        },
+    );
+    let cg = occupancy(
+        &v100,
+        &BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            shared_bytes: 0,
+        },
+    );
     assert_eq!((orig.blocks_per_sm, cg.blocks_per_sm), (9, 8));
 }
 
@@ -203,5 +231,10 @@ fn lockfree_barrier_beats_grid_sync() {
         }
         cycles.push(stats.max_warp_cycles);
     }
-    assert!(cycles[0] < cycles[1], "lock-free {} vs grid.sync {}", cycles[0], cycles[1]);
+    assert!(
+        cycles[0] < cycles[1],
+        "lock-free {} vs grid.sync {}",
+        cycles[0],
+        cycles[1]
+    );
 }
