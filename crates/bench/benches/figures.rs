@@ -1,43 +1,39 @@
-//! Criterion smoke-benchmarks of the full pipeline step and the simt
-//! interpreter kernels used by the figure binaries.
+//! Smoke-benchmarks of the full pipeline step and the simt interpreter
+//! kernels used by the figure binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gothic::galaxy::plummer_model;
 use gothic::simt::microbench::{run_reduction, run_scan};
 use gothic::simt::Scheduler;
 use gothic::{Gothic, RunConfig};
+use testkit::bench::Suite;
 
-fn bench_pipeline_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_block_step");
-    group.sample_size(10);
-    group.bench_function("plummer_8k_fiducial", |b| {
-        b.iter_batched(
-            || Gothic::new(plummer_model(8192, 100.0, 1.0, 77), RunConfig::default()),
-            |mut sim| {
-                for _ in 0..3 {
-                    sim.step();
-                }
-                sim
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+fn bench_pipeline_step(s: &mut Suite) {
+    s.bench_with_setup(
+        "pipeline_block_step/plummer_8k_fiducial",
+        || Gothic::new(plummer_model(8192, 100.0, 1.0, 77), RunConfig::default()),
+        |mut sim| {
+            for _ in 0..3 {
+                sim.step();
+            }
+            sim
+        },
+    );
 }
 
-fn bench_simt_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simt_interpreter");
-    group.sample_size(20);
+fn bench_simt_kernels(s: &mut Suite) {
     for sched in [Scheduler::Lockstep, Scheduler::Independent] {
-        group.bench_function(format!("reduction_256t_{sched:?}"), |b| {
-            b.iter(|| run_reduction(256, 32, true, sched))
+        s.bench(format!("simt_interpreter/reduction_256t_{sched:?}"), || {
+            run_reduction(256, 32, true, sched)
         });
-        group.bench_function(format!("scan_256t_{sched:?}"), |b| {
-            b.iter(|| run_scan(256, 16, true, sched))
+        s.bench(format!("simt_interpreter/scan_256t_{sched:?}"), || {
+            run_scan(256, 16, true, sched)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_step, bench_simt_kernels);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("figures");
+    bench_pipeline_step(&mut s);
+    bench_simt_kernels(&mut s);
+    s.finish();
+}

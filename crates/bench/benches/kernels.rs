@@ -1,21 +1,19 @@
-//! Criterion micro-benchmarks of the individual kernels (host wall time;
-//! the paper's modeled GPU times are produced by the figure binaries).
+//! Micro-benchmarks of the individual kernels (host wall time; the
+//! paper's modeled GPU times are produced by the figure binaries).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gothic::galaxy::plummer_model;
 use gothic::nbody::direct::{direct_parallel, self_gravity};
 use gothic::nbody::integrator::{predict, step_shared};
 use gothic::nbody::{ParticleSet, Source};
 use gothic::octree::{build_tree, calc_node, walk_tree, BuildConfig, Mac, WalkConfig};
 use std::hint::black_box;
+use testkit::bench::Suite;
 
 fn fixture(n: usize) -> ParticleSet {
     plummer_model(n, 100.0, 1.0, 1234)
 }
 
-fn bench_direct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("direct_sum");
-    group.sample_size(10);
+fn bench_direct(s: &mut Suite) {
     for n in [512usize, 2048] {
         let ps = fixture(n);
         let sources: Vec<Source> = ps
@@ -24,48 +22,35 @@ fn bench_direct(c: &mut Criterion) {
             .zip(&ps.mass)
             .map(|(&pos, &mass)| Source { pos, mass })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| direct_parallel(black_box(&ps.pos), black_box(&sources), 1e-4))
+        s.bench(format!("direct_sum/{n}"), || {
+            direct_parallel(black_box(&ps.pos), black_box(&sources), 1e-4)
         });
     }
-    group.finish();
 }
 
-fn bench_tree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("make_tree");
-    group.sample_size(10);
+fn bench_tree_build(s: &mut Suite) {
     for n in [4096usize, 16384] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || fixture(n),
-                |mut ps| build_tree(&mut ps, &BuildConfig::default()),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        s.bench_with_setup(
+            format!("make_tree/{n}"),
+            || fixture(n),
+            |mut ps| build_tree(&mut ps, &BuildConfig::default()),
+        );
     }
-    group.finish();
 }
 
-fn bench_calc_node(c: &mut Criterion) {
-    let mut group = c.benchmark_group("calc_node");
-    group.sample_size(10);
+fn bench_calc_node(s: &mut Suite) {
     for n in [4096usize, 16384] {
         let mut ps = fixture(n);
         let tree = build_tree(&mut ps, &BuildConfig::default());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter_batched(
-                || tree.clone(),
-                |mut t| calc_node(&mut t, &ps.pos, &ps.mass),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        s.bench_with_setup(
+            format!("calc_node/{n}"),
+            || tree.clone(),
+            |mut t| calc_node(&mut t, &ps.pos, &ps.mass),
+        );
     }
-    group.finish();
 }
 
-fn bench_walk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("walk_tree_fiducial");
-    group.sample_size(10);
+fn bench_walk(s: &mut Suite) {
     for n in [4096usize, 16384] {
         let mut ps = fixture(n);
         let mut tree = build_tree(&mut ps, &BuildConfig::default());
@@ -77,42 +62,34 @@ fn bench_walk(c: &mut Criterion) {
         };
         let active: Vec<u32> = (0..n as u32).collect();
         let a_old = vec![1.0f32; n];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        s.bench(format!("walk_tree_fiducial/{n}"), || {
+            walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_integrator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("integrator");
-    group.sample_size(20);
+fn bench_integrator(s: &mut Suite) {
     let n = 16384;
     let ps = fixture(n);
     let dts = vec![1e-3f32; n];
-    group.bench_function("predict", |b| {
-        b.iter_batched(
-            || ps.clone(),
-            |mut p| predict(&mut p, &dts),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("full_shared_step_with_direct_forces", |b| {
-        b.iter_batched(
-            || fixture(1024),
-            |mut p| step_shared(&mut p, 1e-3, |ps| self_gravity(ps, 1e-4)),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    s.bench_with_setup(
+        "integrator/predict",
+        || ps.clone(),
+        |mut p| predict(&mut p, &dts),
+    );
+    s.bench_with_setup(
+        "integrator/full_shared_step_with_direct_forces",
+        || fixture(1024),
+        |mut p| step_shared(&mut p, 1e-3, |ps| self_gravity(ps, 1e-4)),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_direct,
-    bench_tree_build,
-    bench_calc_node,
-    bench_walk,
-    bench_integrator
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("kernels");
+    bench_direct(&mut s);
+    bench_tree_build(&mut s);
+    bench_calc_node(&mut s);
+    bench_walk(&mut s);
+    bench_integrator(&mut s);
+    s.finish();
+}

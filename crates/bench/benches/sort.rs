@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the radix sort (the CUB substitute that
-//! dominates GOTHIC's makeTree, §4.1) against the standard library sort.
+//! Benchmarks of the radix sort (the CUB substitute that dominates
+//! GOTHIC's makeTree, §4.1) against the standard library sort.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::prelude::*;
+use prng::prelude::*;
+use testkit::bench::Suite;
 
 fn keys(n: usize, seed: u64) -> (Vec<u64>, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -12,50 +12,42 @@ fn keys(n: usize, seed: u64) -> (Vec<u64>, Vec<u32>) {
     )
 }
 
-fn bench_radix_vs_std(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sort_pairs");
-    group.sample_size(10);
+fn bench_radix_vs_std(s: &mut Suite) {
     for n in [1usize << 14, 1 << 17] {
         let (k, v) = keys(n, 7);
-        group.bench_with_input(BenchmarkId::new("devsort_radix", n), &n, |b, _| {
-            b.iter_batched(
-                || (k.clone(), v.clone()),
-                |(mut k, mut v)| devsort::sort_pairs(&mut k, &mut v),
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("std_sort_by_key", n), &n, |b, _| {
-            b.iter_batched(
-                || (k.clone(), v.clone()),
-                |(k, mut v)| {
-                    v.sort_by_key(|&i| k[i as usize]);
-                    (k, v)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        s.bench_with_setup(
+            format!("sort_pairs/devsort_radix/{n}"),
+            || (k.clone(), v.clone()),
+            |(mut k, mut v)| devsort::sort_pairs(&mut k, &mut v),
+        );
+        s.bench_with_setup(
+            format!("sort_pairs/std_sort_by_key/{n}"),
+            || (k.clone(), v.clone()),
+            |(k, mut v)| {
+                v.sort_by_key(|&i| k[i as usize]);
+                (k, v)
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_morton_clustered(c: &mut Criterion) {
+fn bench_morton_clustered(s: &mut Suite) {
     // Morton keys of clustered particles share high bytes — the
     // identity-pass skip should make the radix sort faster there.
-    let mut group = c.benchmark_group("sort_morton_clustered");
-    group.sample_size(10);
     let n = 1usize << 16;
     let mut rng = StdRng::seed_from_u64(9);
     let clustered: Vec<u64> = (0..n).map(|_| rng.random_range(0..1u64 << 24)).collect();
     let v: Vec<u32> = (0..n as u32).collect();
-    group.bench_function("clustered_low_entropy", |b| {
-        b.iter_batched(
-            || (clustered.clone(), v.clone()),
-            |(mut k, mut v)| devsort::sort_pairs(&mut k, &mut v),
-            criterion::BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    s.bench_with_setup(
+        "sort_morton_clustered/clustered_low_entropy",
+        || (clustered.clone(), v.clone()),
+        |(mut k, mut v)| devsort::sort_pairs(&mut k, &mut v),
+    );
 }
 
-criterion_group!(benches, bench_radix_vs_std, bench_morton_clustered);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("sort");
+    bench_radix_vs_std(&mut s);
+    bench_morton_clustered(&mut s);
+    s.finish();
+}

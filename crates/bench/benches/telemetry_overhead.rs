@@ -6,62 +6,62 @@
 //! is the compiled-in cost of instrumentation with collection switched
 //! off (budget: <2%, see EXPERIMENTS.md).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use telemetry::metrics::counters::WALK_INTERACTIONS;
+use testkit::bench::Suite;
 
-fn counter_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counter");
+fn counter_paths(s: &mut Suite) {
     telemetry::disable_all();
-    g.bench_function("add_disabled", |b| {
-        b.iter(|| WALK_INTERACTIONS.add(black_box(1)))
+    s.bench("counter/add_disabled", || {
+        for _ in 0..1024 {
+            WALK_INTERACTIONS.add(black_box(1));
+        }
     });
     telemetry::set_metrics_enabled(true);
-    g.bench_function("add_enabled", |b| {
-        b.iter(|| WALK_INTERACTIONS.add(black_box(1)))
+    s.bench("counter/add_enabled", || {
+        for _ in 0..1024 {
+            WALK_INTERACTIONS.add(black_box(1));
+        }
     });
     telemetry::disable_all();
     telemetry::metrics::reset_all();
-    g.finish();
 }
 
-fn span_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("span");
+fn span_paths(s: &mut Suite) {
     telemetry::disable_all();
-    g.bench_function("guard_disabled", |b| {
-        b.iter(|| {
+    s.bench("span/guard_disabled", || {
+        for _ in 0..1024 {
             let _s = telemetry::span(black_box("bench phase"));
-        })
+        }
     });
-    g.finish();
 }
 
 /// A small arithmetic kernel with one counter bump per iteration — the
 /// densest instrumentation the workspace has (per-pass sort counters).
-fn instrumented_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.bench_function("bare", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1024u64 {
-                acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
-            }
-            acc
-        })
+fn instrumented_workload(s: &mut Suite) {
+    s.bench("workload/bare", || {
+        let mut acc = 0u64;
+        for i in 0..1024u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
+        }
+        acc
     });
     telemetry::disable_all();
-    g.bench_function("counter_disabled", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..1024u64 {
-                acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
-                WALK_INTERACTIONS.add(1);
-            }
-            acc
-        })
+    s.bench("workload/counter_disabled", || {
+        let mut acc = 0u64;
+        for i in 0..1024u64 {
+            acc = acc.wrapping_mul(31).wrapping_add(black_box(i));
+            WALK_INTERACTIONS.add(1);
+        }
+        acc
     });
     telemetry::metrics::reset_all();
-    g.finish();
 }
 
-criterion_group!(benches, counter_paths, span_paths, instrumented_workload);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("telemetry_overhead");
+    counter_paths(&mut s);
+    span_paths(&mut s);
+    instrumented_workload(&mut s);
+    s.finish();
+}

@@ -1,10 +1,10 @@
-//! Criterion benchmarks of the tree walk across accuracy settings and
-//! MAC flavours — the host-side analogue of the paper's Δacc sweep.
+//! Benchmarks of the tree walk across accuracy settings and MAC
+//! flavours — the host-side analogue of the paper's Δacc sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gothic::galaxy::plummer_model;
 use gothic::octree::{build_tree, calc_node, walk_tree, BuildConfig, Mac, Octree, WalkConfig};
 use std::hint::black_box;
+use testkit::bench::Suite;
 
 fn fixture(n: usize) -> (gothic::nbody::ParticleSet, Octree) {
     let mut ps = plummer_model(n, 100.0, 1.0, 42);
@@ -13,9 +13,7 @@ fn fixture(n: usize) -> (gothic::nbody::ParticleSet, Octree) {
     (ps, tree)
 }
 
-fn bench_walk_vs_accuracy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("walk_vs_delta_acc");
-    group.sample_size(10);
+fn bench_walk_vs_accuracy(s: &mut Suite) {
     let n = 8192;
     let (ps, tree) = fixture(n);
     let active: Vec<u32> = (0..n as u32).collect();
@@ -28,18 +26,13 @@ fn bench_walk_vs_accuracy(c: &mut Criterion) {
             eps2: 1e-4,
             ..WalkConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("2^-{exp}")),
-            &exp,
-            |b, _| b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)),
-        );
+        s.bench(format!("walk_vs_delta_acc/2^-{exp}"), || {
+            walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)
+        });
     }
-    group.finish();
 }
 
-fn bench_walk_mac_flavours(c: &mut Criterion) {
-    let mut group = c.benchmark_group("walk_mac_flavours");
-    group.sample_size(10);
+fn bench_walk_mac_flavours(s: &mut Suite) {
     let n = 8192;
     let (ps, tree) = fixture(n);
     let active: Vec<u32> = (0..n as u32).collect();
@@ -53,18 +46,15 @@ fn bench_walk_mac_flavours(c: &mut Criterion) {
             eps2: 1e-4,
             ..WalkConfig::default()
         };
-        group.bench_function(label, |b| {
-            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        s.bench(format!("walk_mac_flavours/{label}"), || {
+            walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_walk_list_capacity(c: &mut Criterion) {
+fn bench_walk_list_capacity(s: &mut Suite) {
     // The interaction-list capacity is GOTHIC's arithmetic-intensity
     // lever (§1): larger lists amortise traversal overhead.
-    let mut group = c.benchmark_group("walk_list_capacity");
-    group.sample_size(10);
     let n = 8192;
     let (ps, tree) = fixture(n);
     let active: Vec<u32> = (0..n as u32).collect();
@@ -76,17 +66,16 @@ fn bench_walk_list_capacity(c: &mut Criterion) {
             list_cap: cap,
             ..WalkConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
-            b.iter(|| walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg))
+        s.bench(format!("walk_list_capacity/{cap}"), || {
+            walk_tree(black_box(&tree), &ps.pos, &ps.mass, &a_old, &active, &cfg)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_walk_vs_accuracy,
-    bench_walk_mac_flavours,
-    bench_walk_list_capacity
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("treewalk");
+    bench_walk_vs_accuracy(&mut s);
+    bench_walk_mac_flavours(&mut s);
+    bench_walk_list_capacity(&mut s);
+    s.finish();
+}

@@ -1,0 +1,99 @@
+//! Thread scaling of the pool-parallel phases: walkTree and calcNode
+//! wall-clock at 1/2/4/8 worker threads.
+//!
+//! The in-tree `parallel` pool replaces rayon with a deterministic
+//! decomposition (fixed chunk boundaries, chunk-ordered merge), so the
+//! forces are bit-identical at every thread count — this binary asserts
+//! that before timing anything. Scale with `GOTHIC_BENCH_N` (default
+//! 65536; the EXPERIMENTS.md table uses that size).
+//!
+//! Note: on a single-core container the pool cannot beat the serial
+//! path; the speedup column then reports the (honest) ≈1× plus the
+//! scheduling overhead. The table header records the core count so a
+//! reader can tell which regime a recorded run measured.
+
+use bench::BenchScale;
+use gothic::galaxy::M31Model;
+use gothic::nbody::ParticleSet;
+use gothic::octree::{build_tree, calc_node, walk_tree, BuildConfig, Mac, Octree, WalkConfig};
+use testkit::bench::Suite;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn fixture(n: usize) -> (ParticleSet, Octree) {
+    let mut ps = M31Model::paper_model().sample(n, 4242);
+    let mut tree = build_tree(&mut ps, &BuildConfig::default());
+    calc_node(&mut tree, &ps.pos, &ps.mass);
+    (ps, tree)
+}
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    if std::env::var_os("GOTHIC_BENCH_N").is_none() {
+        scale.n = 65536;
+    }
+    let n = scale.n;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("== thread scaling: N = {n}, host cores = {cores} ==");
+
+    let (ps, tree) = fixture(n);
+    let active: Vec<u32> = (0..n as u32).collect();
+    let a_old = vec![1.0f32; n];
+    let cfg = WalkConfig {
+        mac: Mac::fiducial(),
+        eps2: 1e-4,
+        ..WalkConfig::default()
+    };
+
+    // Determinism gate: forces and node summaries bit-identical at every
+    // thread count before any timing is trusted.
+    let base = parallel::with_thread_count(1, || {
+        walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg)
+    });
+    for t in [2, 4, 8] {
+        let res = parallel::with_thread_count(t, || {
+            walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg)
+        });
+        assert_eq!(res.acc, base.acc, "walkTree forces diverge at {t} threads");
+        assert_eq!(
+            res.pot, base.pot,
+            "walkTree potentials diverge at {t} threads"
+        );
+    }
+    println!("determinism: walkTree bit-identical across {THREADS:?} threads");
+
+    let mut s = Suite::new("thread_scaling");
+    for t in THREADS {
+        s.bench(format!("walk_tree/{t}t"), || {
+            parallel::with_thread_count(t, || {
+                walk_tree(&tree, &ps.pos, &ps.mass, &a_old, &active, &cfg)
+            })
+        });
+        s.bench_with_setup(
+            format!("calc_node/{t}t"),
+            || tree.clone(),
+            |mut tr| parallel::with_thread_count(t, || calc_node(&mut tr, &ps.pos, &ps.mass)),
+        );
+    }
+
+    println!();
+    println!(
+        "{:>8}  {:>14}  {:>9}  {:>14}  {:>9}",
+        "threads", "walkTree", "speedup", "calcNode", "speedup"
+    );
+    let walk1 = s.median_ns("walk_tree/1t").unwrap();
+    let calc1 = s.median_ns("calc_node/1t").unwrap();
+    for t in THREADS {
+        let w = s.median_ns(&format!("walk_tree/{t}t")).unwrap();
+        let c = s.median_ns(&format!("calc_node/{t}t")).unwrap();
+        println!(
+            "{:>8}  {:>12.2} ms  {:>8.2}x  {:>12.2} ms  {:>8.2}x",
+            t,
+            w / 1e6,
+            walk1 / w,
+            c / 1e6,
+            calc1 / c
+        );
+    }
+    s.finish();
+}

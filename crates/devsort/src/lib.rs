@@ -4,7 +4,8 @@
 //! `cub::DeviceRadixSort::SortPairs`, sorting Morton keys with particle
 //! indices as payloads (§4.1 of the paper). This crate is the from-scratch
 //! substitute: a least-significant-digit radix sort over (key, payload)
-//! pairs with 8-bit digits, in both serial and rayon-parallel flavours.
+//! pairs with 8-bit digits, in both serial and pool-parallel flavours
+//! (the in-tree `parallel` work-stealing pool).
 //!
 //! The parallel variant follows the classic GPU decomposition that CUB
 //! itself uses: per-chunk digit histograms, a global exclusive scan over
@@ -125,8 +126,6 @@ const PAR_THRESHOLD: usize = 1 << 14;
 /// Sort `keys` and `values` together by key, ascending and stable,
 /// in parallel. Matches `sort_pairs_serial` exactly on any input.
 pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
-    use rayon::prelude::*;
-
     assert_eq!(keys.len(), values.len());
     let n = keys.len();
     if n < PAR_THRESHOLD {
@@ -146,17 +145,15 @@ pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
             (&keys_alt[..], &mut keys[..], &vals_alt[..], &mut values[..])
         };
 
-        // 1. Per-chunk digit histograms.
-        let hists: Vec<[usize; RADIX]> = ksrc
-            .par_chunks(PAR_CHUNK)
-            .map(|chunk| {
-                let mut h = [0usize; RADIX];
-                for &k in chunk {
-                    h[k.digit(pass)] += 1;
-                }
-                h
-            })
-            .collect();
+        // 1. Per-chunk digit histograms (chunk-ordered, so the scan in
+        //    step 2 is identical at any thread count).
+        let hists: Vec<[usize; RADIX]> = parallel::map_chunks(ksrc, PAR_CHUNK, |_, chunk| {
+            let mut h = [0usize; RADIX];
+            for &k in chunk {
+                h[k.digit(pass)] += 1;
+            }
+            h
+        });
 
         // Skip identity passes (all keys in one digit bucket).
         let mut digit_totals = [0usize; RADIX];
@@ -185,22 +182,24 @@ pub fn sort_pairs<K: RadixKey>(keys: &mut Vec<K>, values: &mut Vec<u32>) {
         // 3. Stable parallel scatter into disjoint ranges.
         let kout = SyncWriteSlice::new(kdst);
         let vout = SyncWriteSlice::new(vdst);
-        ksrc.par_chunks(PAR_CHUNK)
-            .zip(vsrc.par_chunks(PAR_CHUNK))
-            .zip(chunk_offsets.into_par_iter())
-            .for_each(|((kchunk, vchunk), mut offs)| {
-                for (i, &k) in kchunk.iter().enumerate() {
-                    let d = k.digit(pass);
-                    let dst = offs[d];
-                    offs[d] += 1;
-                    // SAFETY: write ranges of distinct (chunk, digit) cells
-                    // are disjoint by construction of the exclusive scan.
-                    unsafe {
-                        kout.write(dst, k);
-                        vout.write(dst, vchunk[i]);
-                    }
+        let chunk_offsets = &chunk_offsets;
+        parallel::run_chunked(n_chunks, |c| {
+            let lo = c * PAR_CHUNK;
+            let hi = (lo + PAR_CHUNK).min(n);
+            let (kchunk, vchunk) = (&ksrc[lo..hi], &vsrc[lo..hi]);
+            let mut offs = chunk_offsets[c];
+            for (i, &k) in kchunk.iter().enumerate() {
+                let d = k.digit(pass);
+                let dst = offs[d];
+                offs[d] += 1;
+                // SAFETY: write ranges of distinct (chunk, digit) cells
+                // are disjoint by construction of the exclusive scan.
+                unsafe {
+                    kout.write(dst, k);
+                    vout.write(dst, vchunk[i]);
                 }
-            });
+            }
+        });
         flipped = !flipped;
     }
     if flipped {
@@ -228,7 +227,7 @@ pub fn argsort<K: RadixKey>(keys: &[K]) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn reference_sort<K: RadixKey>(keys: &[K], values: &[u32]) -> (Vec<K>, Vec<u32>) {
         let mut idx: Vec<usize> = (0..keys.len()).collect();

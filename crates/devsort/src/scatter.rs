@@ -2,7 +2,7 @@
 
 use std::cell::UnsafeCell;
 
-/// A wrapper that lets multiple rayon workers write to disjoint indices of
+/// A wrapper that lets multiple pool workers write to disjoint indices of
 /// one slice. The radix-sort scatter guarantees disjointness through the
 /// exclusive scan over (chunk, digit) cells: every destination index is
 /// claimed by exactly one source element.
@@ -47,15 +47,14 @@ impl<'a, T> SyncWriteSlice<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
     fn disjoint_parallel_writes_land() {
         let mut data = vec![0u32; 10_000];
         {
             let w = SyncWriteSlice::new(&mut data);
-            (0..10_000u32).into_par_iter().for_each(|i| unsafe {
-                w.write(i as usize, i * 2);
+            parallel::run_chunked(10_000, |i| unsafe {
+                w.write(i, i as u32 * 2);
             });
         }
         for (i, &v) in data.iter().enumerate() {

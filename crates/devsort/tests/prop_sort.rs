@@ -1,8 +1,8 @@
 //! Property-based tests for the radix sort against the standard-library
-//! stable sort, over arbitrary key distributions.
+//! stable sort, over arbitrary key distributions (testkit harness).
 
 use devsort::{argsort, sort_pairs, sort_pairs_serial};
-use proptest::prelude::*;
+use testkit::check;
 
 fn reference(keys: &[u64], vals: &[u32]) -> (Vec<u64>, Vec<u32>) {
     let mut idx: Vec<usize> = (0..keys.len()).collect();
@@ -13,84 +13,113 @@ fn reference(keys: &[u64], vals: &[u32]) -> (Vec<u64>, Vec<u32>) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Parallel and serial sorts both match the stable reference on
-    /// arbitrary u64 keys.
-    #[test]
-    fn matches_stable_reference(keys in prop::collection::vec(any::<u64>(), 0..3000)) {
+/// Parallel and serial sorts both match the stable reference on
+/// arbitrary u64 keys.
+#[test]
+fn matches_stable_reference() {
+    check("matches_stable_reference", 64, |g| {
+        let keys = g.vec_of(0..3000, |g| g.any_u64());
         let vals: Vec<u32> = (0..keys.len() as u32).collect();
         let (rk, rv) = reference(&keys, &vals);
 
         let mut k = keys.clone();
         let mut v = vals.clone();
         sort_pairs(&mut k, &mut v);
-        prop_assert_eq!(&k, &rk);
-        prop_assert_eq!(&v, &rv);
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
 
         let mut k = keys.clone();
         let mut v = vals.clone();
         sort_pairs_serial(&mut k, &mut v);
-        prop_assert_eq!(&k, &rk);
-        prop_assert_eq!(&v, &rv);
-    }
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
+    });
+}
 
-    /// Low-entropy keys (heavy duplication — the stability stress case).
-    #[test]
-    fn stable_under_heavy_duplication(
-        keys in prop::collection::vec(0u64..8, 0..2000),
-    ) {
+/// Low-entropy keys (heavy duplication — the stability stress case).
+#[test]
+fn stable_under_heavy_duplication() {
+    check("stable_under_heavy_duplication", 64, |g| {
+        let keys = g.vec_of(0..2000, |g| g.u64_in(0..8));
         let vals: Vec<u32> = (0..keys.len() as u32).collect();
         let (rk, rv) = reference(&keys, &vals);
         let mut k = keys.clone();
         let mut v = vals.clone();
         sort_pairs(&mut k, &mut v);
-        prop_assert_eq!(k, rk);
-        prop_assert_eq!(v, rv);
-    }
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
+    });
+}
 
-    /// Morton-like keys: clustered values sharing high bytes, exercising
-    /// the identity-pass skip.
-    #[test]
-    fn clustered_prefix_keys(
-        prefix in 0u64..8,
-        lows in prop::collection::vec(0u64..(1 << 18), 0..2000),
-    ) {
+/// Morton-like keys: clustered values sharing high bytes, exercising
+/// the identity-pass skip.
+#[test]
+fn clustered_prefix_keys() {
+    check("clustered_prefix_keys", 64, |g| {
+        let prefix = g.u64_in(0..8);
+        let lows = g.vec_of(0..2000, |g| g.u64_in(0..(1 << 18)));
         let keys: Vec<u64> = lows.iter().map(|&l| (prefix << 50) | l).collect();
         let vals: Vec<u32> = (0..keys.len() as u32).collect();
         let (rk, rv) = reference(&keys, &vals);
         let mut k = keys.clone();
         let mut v = vals.clone();
         sort_pairs(&mut k, &mut v);
-        prop_assert_eq!(k, rk);
-        prop_assert_eq!(v, rv);
-    }
+        assert_eq!(k, rk);
+        assert_eq!(v, rv);
+    });
+}
 
-    /// argsort always returns a valid permutation that sorts the input.
-    #[test]
-    fn argsort_is_a_sorting_permutation(keys in prop::collection::vec(any::<u32>(), 0..2000)) {
+/// argsort always returns a valid permutation that sorts the input.
+#[test]
+fn argsort_is_a_sorting_permutation() {
+    check("argsort_is_a_sorting_permutation", 64, |g| {
+        let keys = g.vec_of(0..2000, |g| g.any_u64() as u32);
         let perm = argsort(&keys);
-        prop_assert_eq!(perm.len(), keys.len());
+        assert_eq!(perm.len(), keys.len());
         let mut seen = vec![false; keys.len()];
         for &p in &perm {
-            prop_assert!(!seen[p as usize]);
+            assert!(!seen[p as usize]);
             seen[p as usize] = true;
         }
         for w in perm.windows(2) {
-            prop_assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+            assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
         }
-    }
+    });
+}
 
-    /// Sorting is idempotent.
-    #[test]
-    fn idempotent(keys in prop::collection::vec(any::<u64>(), 0..1500)) {
-        let mut k = keys;
+/// Sorting is idempotent.
+#[test]
+fn idempotent() {
+    check("idempotent", 64, |g| {
+        let mut k = g.vec_of(0..1500, |g| g.any_u64());
         let mut v: Vec<u32> = (0..k.len() as u32).collect();
         sort_pairs(&mut k, &mut v);
         let (k1, v1) = (k.clone(), v.clone());
         sort_pairs(&mut k, &mut v);
-        prop_assert_eq!(k, k1);
-        prop_assert_eq!(v, v1);
-    }
+        assert_eq!(k, k1);
+        assert_eq!(v, v1);
+    });
+}
+
+/// The parallel sort produces byte-identical output at every thread
+/// count — the pool's deterministic-decomposition contract, observed
+/// through the sort that feeds tree construction.
+#[test]
+fn parallel_sort_is_thread_count_invariant() {
+    check("parallel_sort_is_thread_count_invariant", 8, |g| {
+        let keys = g.vec_of(20_000..40_000, |g| g.any_u64());
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let sort_at = |threads: usize| {
+            parallel::with_thread_count(threads, || {
+                let mut k = keys.clone();
+                let mut v = vals.clone();
+                sort_pairs(&mut k, &mut v);
+                (k, v)
+            })
+        };
+        let base = sort_at(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(sort_at(threads), base, "threads = {threads}");
+        }
+    });
 }

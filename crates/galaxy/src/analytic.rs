@@ -119,7 +119,7 @@ mod tests {
     /// analytic isotropic Jeans solution at the half-mass radius.
     #[test]
     fn velocity_moment_matches_jeans() {
-        use rand::prelude::*;
+        use prng::prelude::*;
         let (m, a) = (100.0, 2.0);
         let h = reference_hernquist(m, a);
         let pot = CompositePotential::build(&[&h]);

@@ -7,8 +7,8 @@
 use crate::eddington::CompositePotential;
 use crate::profiles::SphericalProfile;
 use nbody::{Real, Vec3};
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
+use prng::Rng;
+use prng::{Distribution, Normal};
 
 /// Exponential disk parameters.
 #[derive(Clone, Copy, Debug)]
@@ -176,7 +176,7 @@ impl SphericalProfile for DiskAsSpherical {
 mod tests {
     use super::*;
     use crate::profiles::Hernquist;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn test_disk() -> ExponentialDisk {
         ExponentialDisk {

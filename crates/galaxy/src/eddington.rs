@@ -17,7 +17,7 @@
 
 use crate::profiles::SphericalProfile;
 use nbody::{Real, Vec3};
-use rand::Rng;
+use prng::Rng;
 
 /// Number of radial grid points.
 const N_GRID: usize = 256;
@@ -278,7 +278,7 @@ pub fn sample_component<R: Rng>(
 mod tests {
     use super::*;
     use crate::profiles::{Hernquist, Plummer};
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     #[test]
     fn hernquist_potential_matches_analytic() {

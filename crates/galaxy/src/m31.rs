@@ -14,7 +14,7 @@ use crate::disk::{DiskAsSpherical, ExponentialDisk};
 use crate::eddington::{eddington_df, sample_component, CompositePotential};
 use crate::profiles::{Hernquist, Nfw, Sersic, SphericalProfile};
 use nbody::{ParticleSet, Real, Vec3};
-use rand::prelude::*;
+use prng::prelude::*;
 
 /// The four-component M31 model.
 #[derive(Clone, Copy, Debug)]

@@ -2,7 +2,7 @@
 //! by the quickstart example and as the reference distribution in tests).
 
 use nbody::{ParticleSet, Real, Vec3};
-use rand::prelude::*;
+use prng::prelude::*;
 
 /// Sample an equal-mass Plummer sphere of total mass `mass` and scale
 /// radius `a` in virial equilibrium, using the exact inverse-transform /

@@ -198,7 +198,7 @@ fn main() {
                 let h = gothic::galaxy::Hernquist::new(100.0, 1.0, 100.0);
                 let pot = CompositePotential::build(&[&h]);
                 let df = eddington_df(&h, &pot);
-                let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(args.seed);
+                let mut rng = prng::StdRng::seed_from_u64(args.seed);
                 let pairs = sample_component(&h, &pot, &df, args.n, &mut rng);
                 let mut ps = gothic::nbody::ParticleSet::with_capacity(args.n);
                 let m = (100.0 / args.n as f64) as f32;

@@ -10,10 +10,9 @@ use gpu_model::{
     kernel_time, CalcNodeEvents, ExecMode, GpuArch, GridBarrier, IntegrateEvents, MakeTreeEvents,
     OpCounts, WalkEvents,
 };
-use serde::{Deserialize, Serialize};
 
 /// The five representative functions of Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Function {
     WalkTree,
     CalcNode,

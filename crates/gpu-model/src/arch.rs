@@ -7,10 +7,8 @@
 //! once, globally, in this file — the per-figure harnesses never touch
 //! them.
 
-use serde::{Deserialize, Serialize};
-
 /// GPU micro-architecture generation (compute-capability major number).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Generation {
     /// CC 2.x (Tesla M2090).
     Fermi,
@@ -31,7 +29,7 @@ pub enum Generation {
 /// dedicates separate INT32 units, letting INT and FP32 instructions issue
 /// in the same cycle — the root cause of the paper's above-peak-ratio
 /// speed-up (§4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IntPipe {
     /// INT shares the FP32 units (Pascal and earlier).
     Unified,
@@ -40,7 +38,7 @@ pub enum IntPipe {
 }
 
 /// Static description of one GPU.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GpuArch {
     pub name: &'static str,
     pub generation: Generation,

@@ -25,10 +25,9 @@
 
 use crate::arch::GpuArch;
 use crate::ops::OpCounts;
-use serde::{Deserialize, Serialize};
 
 /// Execution mode on compute-capability-7.0 hardware (§2.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// `-gencode arch=compute_60,code=sm_70`: implicit warp synchrony is
     /// enforced; `__syncwarp()` is never executed.
@@ -39,7 +38,7 @@ pub enum ExecMode {
 }
 
 /// Grid-wide barrier implementation (Appendix A).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GridBarrier {
     /// GPU lock-free synchronization (Xiao & Feng 2010) — GOTHIC's
     /// original implementation.
@@ -77,7 +76,7 @@ const HIDING_WARPS: f64 = 24.0;
 const OVERLAP_LEAK: f64 = 0.25;
 
 /// Per-component timing breakdown of one kernel, seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelTime {
     pub compute: f64,
     pub memory: f64,
@@ -89,7 +88,7 @@ pub struct KernelTime {
 }
 
 /// The resource that bounds a kernel in the roofline model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Bound {
     /// FP/INT pipe occupancy (the paper's compute-bound regime, where
     /// the INT/FP overlap of §4.2 pays off).

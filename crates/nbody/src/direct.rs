@@ -10,7 +10,6 @@
 use crate::kernel::{interact, Source};
 use crate::particles::ParticleSet;
 use crate::vec3::{Real, Vec3};
-use rayon::prelude::*;
 
 /// Compute accelerations and potentials of `sinks` positions due to all
 /// `sources`, serially. Returns (acc, pot) vectors.
@@ -31,21 +30,18 @@ pub fn direct_serial(sinks: &[Vec3], sources: &[Source], eps2: Real) -> (Vec<Vec
     (acc, pot)
 }
 
-/// Parallel direct summation over sinks (rayon).
+/// Parallel direct summation over sinks (work-stealing pool).
 pub fn direct_parallel(sinks: &[Vec3], sources: &[Source], eps2: Real) -> (Vec<Vec3>, Vec<Real>) {
-    let results: Vec<(Vec3, Real)> = sinks
-        .par_iter()
-        .map(|&p| {
-            let mut a = Vec3::ZERO;
-            let mut ph = 0.0;
-            for &s in sources {
-                let o = interact(p, s, eps2);
-                a += o.acc;
-                ph += o.pot;
-            }
-            (a, ph)
-        })
-        .collect();
+    let results: Vec<(Vec3, Real)> = parallel::par_map(sinks, |&p| {
+        let mut a = Vec3::ZERO;
+        let mut ph = 0.0;
+        for &s in sources {
+            let o = interact(p, s, eps2);
+            a += o.acc;
+            ph += o.pot;
+        }
+        (a, ph)
+    });
     let acc = results.iter().map(|r| r.0).collect();
     let pot = results.iter().map(|r| r.1).collect();
     (acc, pot)
@@ -76,7 +72,7 @@ pub const FLOPS_PER_INTERACTION: u64 = 24;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn random_set(n: usize, seed: u64) -> ParticleSet {
         let mut rng = StdRng::seed_from_u64(seed);

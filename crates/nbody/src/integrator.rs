@@ -15,7 +15,6 @@
 
 use crate::particles::ParticleSet;
 use crate::vec3::{Real, Vec3};
-use rayon::prelude::*;
 
 /// Predicted state of one particle (position at the new time plus the
 /// linearly-extrapolated velocity).
@@ -37,14 +36,11 @@ pub fn predict(ps: &mut ParticleSet, dt: &[Real]) -> Vec<Vec3> {
     assert_eq!(dt.len(), ps.len());
     telemetry::metrics::counters::PREDICT_PARTICLES.add(ps.len() as u64);
     let acc_old = ps.acc.clone();
-    ps.pos
-        .par_iter_mut()
-        .zip(ps.vel.par_iter())
-        .zip(ps.acc.par_iter())
-        .zip(dt.par_iter())
-        .for_each(|(((p, &v), &a), &h)| {
-            *p = *p + v * h + a * (0.5 * h * h);
-        });
+    let (vel, acc) = (&ps.vel, &ps.acc);
+    parallel::for_each_mut(&mut ps.pos, |i, p| {
+        let (v, a, h) = (vel[i], acc[i], dt[i]);
+        *p = *p + v * h + a * (0.5 * h * h);
+    });
     acc_old
 }
 
@@ -56,9 +52,10 @@ pub fn correct(ps: &mut ParticleSet, acc_old: &[Vec3], dt: &[Real], active: &[bo
     assert_eq!(active.len(), ps.len());
     let n_active = active.iter().filter(|&&a| a).count() as u64;
     telemetry::metrics::counters::CORRECT_PARTICLES.add(n_active);
-    ps.vel.par_iter_mut().enumerate().for_each(|(i, v)| {
+    let acc = &ps.acc;
+    parallel::for_each_mut(&mut ps.vel, |i, v| {
         if active[i] {
-            *v += (acc_old[i] + ps.acc[i]) * (0.5 * dt[i]);
+            *v += (acc_old[i] + acc[i]) * (0.5 * dt[i]);
         }
     });
 }
@@ -71,7 +68,7 @@ pub fn predict_positions(ps: &ParticleSet, dt: &[Real], out: &mut [Vec3]) {
     assert_eq!(dt.len(), ps.len());
     assert_eq!(out.len(), ps.len());
     telemetry::metrics::counters::PREDICT_PARTICLES.add(ps.len() as u64);
-    out.par_iter_mut().enumerate().for_each(|(i, o)| {
+    parallel::for_each_mut(out, |i, o| {
         let h = dt[i];
         *o = ps.pos[i] + ps.vel[i] * h + ps.acc[i] * (0.5 * h * h);
     });

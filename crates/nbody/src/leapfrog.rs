@@ -9,7 +9,6 @@
 
 use crate::particles::ParticleSet;
 use crate::vec3::Real;
-use rayon::prelude::*;
 
 /// One shared-timestep KDK step with a caller-provided force evaluator.
 /// `ps.acc` must hold the accelerations at the current positions (prime
@@ -20,22 +19,16 @@ where
 {
     let half = 0.5 * dt;
     // Kick (half).
-    ps.vel
-        .par_iter_mut()
-        .zip(ps.acc.par_iter())
-        .for_each(|(v, &a)| *v += a * half);
+    let acc = &ps.acc;
+    parallel::for_each_mut(&mut ps.vel, |i, v| *v += acc[i] * half);
     // Drift (full).
-    ps.pos
-        .par_iter_mut()
-        .zip(ps.vel.par_iter())
-        .for_each(|(p, &v)| *p += v * dt);
+    let vel = &ps.vel;
+    parallel::for_each_mut(&mut ps.pos, |i, p| *p += vel[i] * dt);
     // New forces.
     eval_forces(ps);
     // Kick (half).
-    ps.vel
-        .par_iter_mut()
-        .zip(ps.acc.par_iter())
-        .for_each(|(v, &a)| *v += a * half);
+    let acc = &ps.acc;
+    parallel::for_each_mut(&mut ps.vel, |i, v| *v += acc[i] * half);
 }
 
 #[cfg(test)]

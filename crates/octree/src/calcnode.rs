@@ -11,7 +11,6 @@
 use crate::tree::Octree;
 use gpu_model::CalcNodeEvents;
 use nbody::{Real, Vec3};
-use rayon::prelude::*;
 
 /// Fill `tree.com`, `tree.mass`, `tree.bmax`. `pos`/`mass` must be the
 /// Morton-ordered particle arrays the tree was built over. Returns the
@@ -44,66 +43,67 @@ pub fn calc_node(tree: &mut Octree, pos: &[Vec3], mass: &[Real]) -> CalcNodeEven
         let pstart = &tree.pstart;
         let pcount = &tree.pcount;
 
-        let pair_count: u64 = com_lo[lo..]
-            .par_iter_mut()
-            .zip(mass_lo[lo..].par_iter_mut())
-            .zip(bmax_lo[lo..].par_iter_mut())
-            .enumerate()
-            .map(|(off, ((com_v, mass_v), bmax_v))| {
-                let v = lo + off;
-                let leaf = child_start[v] == crate::tree::NO_CHILD;
-                let mut m = 0.0f64;
-                let mut c = [0.0f64; 3];
-                let mut pairs = 0u64;
-                if leaf {
-                    for p in pstart[v] as usize..(pstart[v] + pcount[v]) as usize {
-                        let pm = mass[p] as f64;
-                        m += pm;
-                        c[0] += pm * pos[p].x as f64;
-                        c[1] += pm * pos[p].y as f64;
-                        c[2] += pm * pos[p].z as f64;
-                        pairs += 1;
-                    }
-                } else {
-                    let s = child_start[v] as usize;
-                    for ci in s..s + child_count[v] as usize {
-                        // Children are below `hi` in index? No: children
-                        // have larger ids (BFS layout) — they live in the
-                        // `_hi` halves.
-                        let cm = mass_hi[ci - hi] as f64;
-                        let cc = com_hi[ci - hi];
-                        m += cm;
-                        c[0] += cm * cc.x as f64;
-                        c[1] += cm * cc.y as f64;
-                        c[2] += cm * cc.z as f64;
-                        pairs += 1;
-                    }
+        // Parallel map over the level's nodes (children are read-only),
+        // then a serial chunk-ordered write-back — bit-identical at any
+        // thread count because each node's summary is self-contained.
+        let com_hi = &com_hi[..];
+        let mass_hi = &mass_hi[..];
+        let bmax_hi = &bmax_hi[..];
+        let summaries: Vec<(Vec3, Real, Real, u64)> = parallel::map_range(lo..hi, |v| {
+            let leaf = child_start[v] == crate::tree::NO_CHILD;
+            let mut m = 0.0f64;
+            let mut c = [0.0f64; 3];
+            let mut pairs = 0u64;
+            if leaf {
+                for p in pstart[v] as usize..(pstart[v] + pcount[v]) as usize {
+                    let pm = mass[p] as f64;
+                    m += pm;
+                    c[0] += pm * pos[p].x as f64;
+                    c[1] += pm * pos[p].y as f64;
+                    c[2] += pm * pos[p].z as f64;
+                    pairs += 1;
                 }
-                let com = if m > 0.0 {
-                    Vec3::new((c[0] / m) as Real, (c[1] / m) as Real, (c[2] / m) as Real)
-                } else {
-                    Vec3::ZERO
-                };
-                *com_v = com;
-                *mass_v = m as Real;
-                // Bounding radius of the node's matter around the COM.
-                let mut b: Real = 0.0;
-                if leaf {
-                    let range = pstart[v] as usize..(pstart[v] + pcount[v]) as usize;
-                    for pp in &pos[range] {
-                        b = b.max((*pp - com).norm());
-                    }
-                } else {
-                    let s = child_start[v] as usize;
-                    for ci in s..s + child_count[v] as usize {
-                        b = b.max((com_hi[ci - hi] - com).norm() + bmax_hi[ci - hi]);
-                    }
+            } else {
+                let s = child_start[v] as usize;
+                for ci in s..s + child_count[v] as usize {
+                    // Children are below `hi` in index? No: children
+                    // have larger ids (BFS layout) — they live in the
+                    // `_hi` halves.
+                    let cm = mass_hi[ci - hi] as f64;
+                    let cc = com_hi[ci - hi];
+                    m += cm;
+                    c[0] += cm * cc.x as f64;
+                    c[1] += cm * cc.y as f64;
+                    c[2] += cm * cc.z as f64;
+                    pairs += 1;
                 }
-                *bmax_v = b;
-                pairs
-            })
-            .sum();
-        accum += pair_count;
+            }
+            let com = if m > 0.0 {
+                Vec3::new((c[0] / m) as Real, (c[1] / m) as Real, (c[2] / m) as Real)
+            } else {
+                Vec3::ZERO
+            };
+            // Bounding radius of the node's matter around the COM.
+            let mut b: Real = 0.0;
+            if leaf {
+                let range = pstart[v] as usize..(pstart[v] + pcount[v]) as usize;
+                for pp in &pos[range] {
+                    b = b.max((*pp - com).norm());
+                }
+            } else {
+                let s = child_start[v] as usize;
+                for ci in s..s + child_count[v] as usize {
+                    b = b.max((com_hi[ci - hi] - com).norm() + bmax_hi[ci - hi]);
+                }
+            }
+            (com, m as Real, b, pairs)
+        });
+        for (off, &(com, m, b, pairs)) in summaries.iter().enumerate() {
+            com_lo[lo + off] = com;
+            mass_lo[lo + off] = m;
+            bmax_lo[lo + off] = b;
+            accum += pairs;
+        }
     }
     events.child_accumulations = accum;
     {
@@ -120,7 +120,7 @@ mod tests {
     use super::*;
     use crate::tree::{build_tree, BuildConfig};
     use nbody::ParticleSet;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn tree_fixture(n: usize, seed: u64) -> (ParticleSet, Octree, CalcNodeEvents) {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -14,5 +14,6 @@ pub mod walk;
 
 pub use calcnode::calc_node;
 pub use mac::Mac;
+pub use morton::{morton_key, morton_keys};
 pub use tree::{build_tree, build_tree_with_positions, BuildConfig, Octree, NO_CHILD};
 pub use walk::{walk_tree, walk_tree_individual, WalkConfig, WalkResult, WARP_SIZE};

@@ -15,10 +15,9 @@
 //! acceleration exists.
 
 use nbody::Real;
-use serde::{Deserialize, Serialize};
 
 /// Acceptance criterion for the tree walk.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Mac {
     /// Barnes–Hut geometric criterion: accept when `b_J / d < θ`.
     OpeningAngle {

@@ -99,10 +99,11 @@ pub fn cell_size(depth: u32, cube: &Aabb) -> Real {
     cube.extent().x / (1u64 << depth) as Real
 }
 
-/// Compute keys for a batch of positions (rayon-parallel).
+/// Compute keys for a batch of positions (pool-parallel; element-wise
+/// and order-preserving, so the key vector is bit-identical at any
+/// thread count).
 pub fn morton_keys(pos: &[Vec3], cube: &Aabb) -> Vec<u64> {
-    use rayon::prelude::*;
-    pos.par_iter().map(|&p| morton_key(p, cube)).collect()
+    parallel::par_map(pos, |&p| morton_key(p, cube))
 }
 
 #[cfg(test)]

@@ -11,7 +11,6 @@
 use crate::morton::{self, MAX_DEPTH};
 use gpu_model::MakeTreeEvents;
 use nbody::{Aabb, ParticleSet, Real, Vec3};
-use rayon::prelude::*;
 
 /// Sentinel for "no children".
 pub const NO_CHILD: u32 = u32::MAX;
@@ -218,31 +217,32 @@ pub fn build_tree_with_positions(
     while !frontier.is_empty() && level < MAX_DEPTH {
         // Decide splits in parallel: for every frontier node that is too
         // big, find its children's particle ranges via binary searches in
-        // the sorted key array.
-        let splits: Vec<(u32, Vec<(u32, u32)>)> = frontier
-            .par_iter()
-            .filter(|&&v| tree.pcount[v as usize] > cfg.leaf_cap)
-            .map(|&v| {
-                let s = tree.pstart[v as usize] as usize;
-                let c = tree.pcount[v as usize] as usize;
-                let slice = &tree.keys[s..s + c];
-                let mut ranges = Vec::with_capacity(8);
-                let mut lo = 0usize;
-                for oct in 0..8u32 {
-                    let hi = if oct == 7 {
-                        c
-                    } else {
-                        lo + slice[lo..]
-                            .partition_point(|&k| morton::octant_at_level(k, level) <= oct)
-                    };
-                    if hi > lo {
-                        ranges.push(((s + lo) as u32, (hi - lo) as u32));
-                    }
-                    lo = hi;
-                }
-                (v, ranges)
-            })
+        // the sorted key array. The serial pre-filter keeps the work list
+        // (and thus the chunk decomposition) thread-count-independent.
+        let too_big: Vec<u32> = frontier
+            .iter()
+            .copied()
+            .filter(|&v| tree.pcount[v as usize] > cfg.leaf_cap)
             .collect();
+        let splits: Vec<(u32, Vec<(u32, u32)>)> = parallel::par_map(&too_big, |&v| {
+            let s = tree.pstart[v as usize] as usize;
+            let c = tree.pcount[v as usize] as usize;
+            let slice = &tree.keys[s..s + c];
+            let mut ranges = Vec::with_capacity(8);
+            let mut lo = 0usize;
+            for oct in 0..8u32 {
+                let hi = if oct == 7 {
+                    c
+                } else {
+                    lo + slice[lo..].partition_point(|&k| morton::octant_at_level(k, level) <= oct)
+                };
+                if hi > lo {
+                    ranges.push(((s + lo) as u32, (hi - lo) as u32));
+                }
+                lo = hi;
+            }
+            (v, ranges)
+        });
 
         // Append children in breadth-first order (serial; cheap relative
         // to the searches).
@@ -310,7 +310,7 @@ pub fn build_tree_with_positions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn random_particles(n: usize, seed: u64) -> ParticleSet {
         let mut rng = StdRng::seed_from_u64(seed);

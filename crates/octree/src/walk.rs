@@ -13,7 +13,7 @@
 //! sources are shared by 32 sinks). The procedure repeats until the queue
 //! drains (§1 of the paper).
 //!
-//! This module reproduces that traversal on the host, one rayon task per
+//! This module reproduces that traversal on the host, one pool task per
 //! warp-group, and records the event counts ([`WalkEvents`]) the
 //! performance model consumes.
 
@@ -22,7 +22,6 @@ use crate::tree::Octree;
 use gpu_model::WalkEvents;
 use nbody::kernel::{accumulate, Source};
 use nbody::{Real, Vec3};
-use rayon::prelude::*;
 
 /// Lanes per warp — fixed by the hardware the paper targets.
 pub const WARP_SIZE: usize = 32;
@@ -76,10 +75,13 @@ pub fn walk_tree(
     cfg: &WalkConfig,
 ) -> WalkResult {
     assert_eq!(pos.len(), tree.keys.len());
-    let group_results: Vec<(Vec<Vec3>, Vec<Real>, WalkEvents)> = active
-        .par_chunks(WARP_SIZE)
-        .map(|group| walk_group(tree, pos, mass_arr, acc_old, group, cfg))
-        .collect();
+    // One pool task per warp-group; the fixed WARP_SIZE chunking and the
+    // serial chunk-ordered merge below keep the result bit-identical at
+    // any thread count.
+    let group_results: Vec<(Vec<Vec3>, Vec<Real>, WalkEvents)> =
+        parallel::map_chunks(active, WARP_SIZE, |_, group| {
+            walk_group(tree, pos, mass_arr, acc_old, group, cfg)
+        });
 
     let n = active.len();
     let mut acc = Vec::with_capacity(n);
@@ -206,7 +208,7 @@ fn walk_group(
 }
 
 /// Publish one group's event counts to the telemetry registry. Runs on
-/// the rayon worker that walked the group; the counters are sharded, so
+/// the pool worker that walked the group; the counters are sharded, so
 /// concurrent groups do not contend.
 #[inline]
 fn record_walk_counters(events: &WalkEvents) {
@@ -266,7 +268,7 @@ mod tests {
     use crate::tree::{build_tree, BuildConfig};
     use nbody::direct::direct_parallel;
     use nbody::ParticleSet;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn plummer_like(n: usize, seed: u64) -> ParticleSet {
         // Centrally-concentrated cloud (r ~ uniform³ gives a steep cusp).
@@ -446,95 +448,92 @@ pub fn walk_tree_individual(
     cfg: &WalkConfig,
 ) -> WalkResult {
     assert_eq!(pos.len(), tree.keys.len());
-    let results: Vec<(Vec3, Real, WalkEvents)> = active
-        .par_iter()
-        .map(|&i| {
-            let sink = pos[i as usize];
-            let a_min = acc_old[i as usize];
-            let mut events = WalkEvents {
-                groups: 1,
-                sinks: 1,
-                ..WalkEvents::default()
-            };
-            let mut acc = Vec3::ZERO;
-            let mut pot: Real = 0.0;
-            let mut list: Vec<Source> = Vec::with_capacity(cfg.list_cap);
-            let mut queue: Vec<u32> = Vec::with_capacity(128);
-            let mut head = 0usize;
-            if tree.is_leaf(0) {
-                queue.push(0);
-            } else {
-                queue.extend(tree.children(0).map(|c| c as u32));
-            }
-            while head < queue.len() {
-                let round_end = (head + cfg.round_width).min(queue.len());
-                events.queue_rounds += 1;
-                for qi in head..round_end {
-                    let v = queue[qi] as usize;
-                    events.mac_evals += 1;
-                    let com = tree.com[v];
-                    let b = tree.bmax[v];
-                    let d = (com - sink).norm();
-                    let separated = d > b && d > 0.0;
-                    let flush_push = |src: Source,
-                                      list: &mut Vec<Source>,
-                                      events: &mut WalkEvents,
-                                      acc: &mut Vec3,
-                                      pot: &mut Real| {
-                        list.push(src);
-                        events.list_pushes += 1;
-                        if list.len() == cfg.list_cap {
-                            events.flushes += 1;
-                            events.interactions += list.len() as u64;
-                            let out = accumulate(sink, list, cfg.eps2);
-                            *acc += out.acc;
-                            *pot += out.pot;
-                            list.clear();
-                        }
-                    };
-                    if separated && cfg.mac.accepts(tree.mass[v], b, d * d, a_min) {
+    let results: Vec<(Vec3, Real, WalkEvents)> = parallel::par_map(active, |&i| {
+        let sink = pos[i as usize];
+        let a_min = acc_old[i as usize];
+        let mut events = WalkEvents {
+            groups: 1,
+            sinks: 1,
+            ..WalkEvents::default()
+        };
+        let mut acc = Vec3::ZERO;
+        let mut pot: Real = 0.0;
+        let mut list: Vec<Source> = Vec::with_capacity(cfg.list_cap);
+        let mut queue: Vec<u32> = Vec::with_capacity(128);
+        let mut head = 0usize;
+        if tree.is_leaf(0) {
+            queue.push(0);
+        } else {
+            queue.extend(tree.children(0).map(|c| c as u32));
+        }
+        while head < queue.len() {
+            let round_end = (head + cfg.round_width).min(queue.len());
+            events.queue_rounds += 1;
+            for qi in head..round_end {
+                let v = queue[qi] as usize;
+                events.mac_evals += 1;
+                let com = tree.com[v];
+                let b = tree.bmax[v];
+                let d = (com - sink).norm();
+                let separated = d > b && d > 0.0;
+                let flush_push = |src: Source,
+                                  list: &mut Vec<Source>,
+                                  events: &mut WalkEvents,
+                                  acc: &mut Vec3,
+                                  pot: &mut Real| {
+                    list.push(src);
+                    events.list_pushes += 1;
+                    if list.len() == cfg.list_cap {
+                        events.flushes += 1;
+                        events.interactions += list.len() as u64;
+                        let out = accumulate(sink, list, cfg.eps2);
+                        *acc += out.acc;
+                        *pot += out.pot;
+                        list.clear();
+                    }
+                };
+                if separated && cfg.mac.accepts(tree.mass[v], b, d * d, a_min) {
+                    flush_push(
+                        Source {
+                            pos: com,
+                            mass: tree.mass[v],
+                        },
+                        &mut list,
+                        &mut events,
+                        &mut acc,
+                        &mut pot,
+                    );
+                } else if tree.is_leaf(v) {
+                    for p in tree.particles(v) {
                         flush_push(
                             Source {
-                                pos: com,
-                                mass: tree.mass[v],
+                                pos: pos[p],
+                                mass: mass_arr[p],
                             },
                             &mut list,
                             &mut events,
                             &mut acc,
                             &mut pot,
                         );
-                    } else if tree.is_leaf(v) {
-                        for p in tree.particles(v) {
-                            flush_push(
-                                Source {
-                                    pos: pos[p],
-                                    mass: mass_arr[p],
-                                },
-                                &mut list,
-                                &mut events,
-                                &mut acc,
-                                &mut pot,
-                            );
-                        }
-                    } else {
-                        events.opens += 1;
-                        queue.extend(tree.children(v).map(|c| c as u32));
                     }
+                } else {
+                    events.opens += 1;
+                    queue.extend(tree.children(v).map(|c| c as u32));
                 }
-                head = round_end;
-                events.peak_queue_len = events.peak_queue_len.max((queue.len() - head) as u64);
             }
-            if !list.is_empty() {
-                events.flushes += 1;
-                events.interactions += list.len() as u64;
-                let out = accumulate(sink, &list, cfg.eps2);
-                acc += out.acc;
-                pot += out.pot;
-            }
-            record_walk_counters(&events);
-            (acc, pot, events)
-        })
-        .collect();
+            head = round_end;
+            events.peak_queue_len = events.peak_queue_len.max((queue.len() - head) as u64);
+        }
+        if !list.is_empty() {
+            events.flushes += 1;
+            events.interactions += list.len() as u64;
+            let out = accumulate(sink, &list, cfg.eps2);
+            acc += out.acc;
+            pot += out.pot;
+        }
+        record_walk_counters(&events);
+        (acc, pot, events)
+    });
 
     let mut acc = Vec::with_capacity(active.len());
     let mut pot = Vec::with_capacity(active.len());
@@ -554,7 +553,7 @@ mod individual_tests {
     use crate::tree::{build_tree, BuildConfig};
     use nbody::direct::direct_parallel;
     use nbody::ParticleSet;
-    use rand::prelude::*;
+    use prng::prelude::*;
 
     fn fixture(n: usize) -> (ParticleSet, Octree) {
         let mut rng = StdRng::seed_from_u64(99);

@@ -1,0 +1,452 @@
+//! In-tree work-stealing scoped thread pool (std-only).
+//!
+//! This crate replaces rayon in the octree/devsort/nbody hot paths. It
+//! is built from three pieces, all standard library:
+//!
+//! 1. [`std::thread::scope`] — workers borrow the caller's data, so no
+//!    `'static` bounds, no channels, no `Arc` plumbing;
+//! 2. chunked work queues with atomic cursors — the item range is split
+//!    into one contiguous sub-range per worker, each with an
+//!    [`AtomicUsize`] cursor; a worker drains its own range with
+//!    `fetch_add`, then *steals* by advancing the cursor of the most
+//!    loaded other range;
+//! 3. deterministic chunk-ordered reduction — every chunk writes its
+//!    result into a slot indexed by chunk number, and any combination
+//!    of per-chunk results happens serially in chunk order after the
+//!    scope joins.
+//!
+//! Because chunk boundaries depend only on the item count and a fixed
+//! chunk size — never on the thread count or on scheduling — the
+//! per-chunk results, and therefore the merged output, are **bit
+//! identical** at any thread count, including 1. That is the contract
+//! the force pipeline relies on (see `octree::walk`): determinism is a
+//! property of the decomposition, and the pool is free to execute
+//! chunks in any order.
+//!
+//! Thread count: the `GOTHIC_THREADS` environment variable, clamped to
+//! at least 1, else [`std::thread::available_parallelism`]. Tests pin a
+//! count for the current thread (only) with [`with_thread_count`], so
+//! concurrently running tests cannot race on a global.
+//!
+//! Observability: every parallel region opens a `"pool"` telemetry span
+//! on the *calling* thread, so in traces it nests under whichever
+//! pipeline phase (`walk tree`, `calc node`, …) invoked it, and bumps
+//! the `pool.jobs` / `pool.chunks` / `pool.steals` counters.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use telemetry::metrics::counters as ctr;
+
+mod slots;
+use slots::SlotWriter;
+
+/// Fixed chunk width for the element-wise helpers ([`par_map`],
+/// [`map_range`], [`for_each_mut`], …). Thread-count-independent by
+/// construction; 1024 elements amortise the per-chunk atomics while
+/// still giving the stealer something to take on skewed workloads.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let parsed = *ENV.get_or_init(|| {
+        std::env::var("GOTHIC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    });
+    parsed.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count a parallel region started now would use.
+pub fn current_threads() -> usize {
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(env_threads)
+}
+
+/// Run `f` with the pool pinned to `n` threads **on this thread only**.
+///
+/// The override is thread-local and restored on unwind, so parallel
+/// determinism tests running concurrently under `cargo test` cannot
+/// interfere with each other.
+pub fn with_thread_count<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One worker's contiguous sub-range of chunk indices, drained through
+/// an atomic cursor. The owner and thieves both claim indices with
+/// `fetch_add`; indices at or past `end` are discarded, so every index
+/// is claimed exactly once across all workers.
+struct Queue {
+    next: AtomicUsize,
+    end: usize,
+}
+
+impl Queue {
+    #[inline]
+    fn claim(&self) -> Option<usize> {
+        // Opportunistic load first: once drained, stay drained without
+        // growing the counter unboundedly under a steal storm.
+        if self.next.load(Ordering::Relaxed) >= self.end {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.end).then_some(i)
+    }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.next.load(Ordering::Relaxed))
+    }
+}
+
+/// Execute `body(chunk_index)` exactly once for every chunk in
+/// `0..n_chunks`, distributed over the pool with work stealing.
+///
+/// This is the pool's core primitive; the typed helpers below build
+/// their determinism guarantees on top of it. `body` runs on the
+/// calling thread and on scoped workers; execution order is arbitrary.
+pub fn run_chunked(n_chunks: usize, body: impl Fn(usize) + Sync) {
+    let threads = current_threads().min(n_chunks.max(1));
+    if threads <= 1 || n_chunks <= 1 {
+        for i in 0..n_chunks {
+            body(i);
+        }
+        return;
+    }
+
+    // The span opens on the calling thread → it nests under the phase
+    // span ("walk tree", "calc node", …) that invoked the pool.
+    let _span = telemetry::span("pool");
+    ctr::POOL_JOBS.add(1);
+    ctr::POOL_CHUNKS.add(n_chunks as u64);
+
+    // Split 0..n_chunks into `threads` contiguous ranges (sizes differ
+    // by at most one). These are the per-worker queues.
+    let base = n_chunks / threads;
+    let extra = n_chunks % threads;
+    let mut queues = Vec::with_capacity(threads);
+    let mut start = 0;
+    for w in 0..threads {
+        let len = base + usize::from(w < extra);
+        queues.push(Queue {
+            next: AtomicUsize::new(start),
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, n_chunks);
+    let queues = &queues;
+    let body = &body;
+
+    let worker = move |me: usize| {
+        let mut steals = 0u64;
+        // Drain the owned range first — contiguous, cache-friendly.
+        while let Some(i) = queues[me].claim() {
+            body(i);
+        }
+        // Then steal: repeatedly pick the most loaded other queue.
+        loop {
+            let victim = (0..queues.len())
+                .filter(|&q| q != me)
+                .max_by_key(|&q| queues[q].remaining())
+                .filter(|&q| queues[q].remaining() > 0);
+            let Some(v) = victim else { break };
+            while let Some(i) = queues[v].claim() {
+                body(i);
+                steals += 1;
+            }
+        }
+        if steals > 0 {
+            ctr::POOL_STEALS.add(steals);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for w in 1..threads {
+            scope.spawn(move || worker(w));
+        }
+        worker(0);
+    });
+}
+
+/// Map `f` over fixed-size chunks of `items`, returning one result per
+/// chunk **in chunk order**. `f` receives the chunk index and slice.
+///
+/// Chunk boundaries depend only on `items.len()` and `chunk`, so the
+/// result vector is identical at any thread count.
+pub fn map_chunks<T, U, F>(items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = items.len().div_ceil(chunk);
+    let out = SlotWriter::new(n_chunks);
+    run_chunked(n_chunks, |ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(items.len());
+        // Safety: each chunk index is claimed exactly once, so slot
+        // `ci` is written exactly once and never read concurrently.
+        unsafe { out.write(ci, f(ci, &items[lo..hi])) };
+    });
+    // Safety: run_chunked returns only after every chunk ran.
+    unsafe { out.into_vec() }
+}
+
+/// Parallel element-wise map preserving order: `items.iter().map(f)`,
+/// chunked at [`DEFAULT_CHUNK`]. Deterministic at any thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let out = SlotWriter::new(n);
+    run_chunked(n.div_ceil(DEFAULT_CHUNK), |ci| {
+        let lo = ci * DEFAULT_CHUNK;
+        let hi = (lo + DEFAULT_CHUNK).min(n);
+        for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+            // Safety: chunks are disjoint → each slot written once.
+            unsafe { out.write(i, f(item)) };
+        }
+    });
+    // Safety: all chunks complete before run_chunked returns.
+    unsafe { out.into_vec() }
+}
+
+/// Parallel map over an index range, preserving order.
+pub fn map_range<U, F>(range: Range<usize>, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let base = range.start;
+    let n = range.end.saturating_sub(base);
+    let out = SlotWriter::new(n);
+    run_chunked(n.div_ceil(DEFAULT_CHUNK), |ci| {
+        let lo = ci * DEFAULT_CHUNK;
+        let hi = (lo + DEFAULT_CHUNK).min(n);
+        for i in lo..hi {
+            // Safety: chunks are disjoint → each slot written once.
+            unsafe { out.write(i, f(base + i)) };
+        }
+    });
+    // Safety: all chunks complete before run_chunked returns.
+    unsafe { out.into_vec() }
+}
+
+/// Parallel in-place update: `f(i, &mut items[i])` for every index.
+pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let base = slots::SendPtr(items.as_mut_ptr());
+    run_chunked(n.div_ceil(DEFAULT_CHUNK), |ci| {
+        let lo = ci * DEFAULT_CHUNK;
+        let hi = (lo + DEFAULT_CHUNK).min(n);
+        let base = &base;
+        for i in lo..hi {
+            // Safety: chunks are disjoint, so &mut items[i] is unique.
+            f(i, unsafe { &mut *base.0.add(i) });
+        }
+    });
+}
+
+/// Parallel in-place update over two equal-length slices:
+/// `f(i, &mut a[i], &mut b[i])`. Used by the integrator's fused
+/// position/velocity passes.
+pub fn for_each_mut2<A, B, F>(a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut A, &mut B) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "for_each_mut2 slices must match");
+    let n = a.len();
+    let pa = slots::SendPtr(a.as_mut_ptr());
+    let pb = slots::SendPtr(b.as_mut_ptr());
+    run_chunked(n.div_ceil(DEFAULT_CHUNK), |ci| {
+        let lo = ci * DEFAULT_CHUNK;
+        let hi = (lo + DEFAULT_CHUNK).min(n);
+        let (pa, pb) = (&pa, &pb);
+        for i in lo..hi {
+            // Safety: chunks are disjoint, so both &muts are unique.
+            unsafe { f(i, &mut *pa.0.add(i), &mut *pb.0.add(i)) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xABCD).collect();
+        for threads in [1, 2, 4, 8] {
+            let got =
+                with_thread_count(threads, || par_map(&items, |&x| x.wrapping_mul(x) ^ 0xABCD));
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let items: Vec<u32> = (0..5000).collect();
+        let sums = with_thread_count(4, || {
+            map_chunks(&items, 512, |ci, chunk| (ci, chunk.iter().sum::<u32>()))
+        });
+        assert_eq!(sums.len(), 5000usize.div_ceil(512));
+        for (i, &(ci, _)) in sums.iter().enumerate() {
+            assert_eq!(ci, i, "chunk results must come back in order");
+        }
+        let total: u32 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, items.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn map_range_covers_offset_ranges() {
+        let got = with_thread_count(3, || map_range(100..4200, |i| i * 2));
+        assert_eq!(got.len(), 4100);
+        assert_eq!(got[0], 200);
+        assert_eq!(got[4099], 8398);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 9999];
+        with_thread_count(8, || for_each_mut(&mut v, |i, x| *x += i as u32 + 1));
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_mut2_updates_both_slices() {
+        let mut a = vec![0u64; 3000];
+        let mut b = vec![0u64; 3000];
+        with_thread_count(4, || {
+            for_each_mut2(&mut a, &mut b, |i, x, y| {
+                *x = i as u64;
+                *y = 2 * i as u64;
+            })
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i as u64));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i as u64));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert!(map_chunks(&empty, 8, |_, c: &[u8]| c.len()).is_empty());
+        assert_eq!(with_thread_count(8, || par_map(&[7u8], |&x| x)), vec![7]);
+        assert_eq!(map_range(5..5, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn run_chunked_claims_each_chunk_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let n = 1000;
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        with_thread_count(8, || {
+            run_chunked(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                // Skew the work so stealing actually happens.
+                if i < 32 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn override_is_thread_local_and_restored() {
+        let before = current_threads();
+        let inside = with_thread_count(3, current_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_threads(), before);
+        // Nested overrides restore the outer one, not the env default.
+        with_thread_count(5, || {
+            assert_eq!(with_thread_count(2, current_threads), 2);
+            assert_eq!(current_threads(), 5);
+        });
+        // A spawned thread does not inherit the caller's override.
+        with_thread_count(7, || {
+            let other = std::thread::spawn(current_threads).join().unwrap();
+            assert_eq!(other, before);
+        });
+    }
+
+    #[test]
+    fn pool_span_is_emitted_under_the_caller() {
+        let _g = telemetry::sink::test_lock();
+        telemetry::sink::init_trace_memory();
+        {
+            let _outer = telemetry::span("caller");
+            with_thread_count(2, || {
+                run_chunked(64, |_| std::hint::black_box(()));
+            });
+        }
+        let lines = telemetry::sink::drain_memory();
+        telemetry::sink::shutdown();
+        let spans: Vec<_> = lines
+            .iter()
+            .map(|l| telemetry::json::parse(l).unwrap())
+            .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("span"))
+            .collect();
+        let pool = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("pool"))
+            .expect("pool span present");
+        let caller = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("caller"))
+            .expect("caller span present");
+        assert_eq!(
+            pool.get("depth").unwrap().as_u64().unwrap(),
+            caller.get("depth").unwrap().as_u64().unwrap() + 1,
+            "pool span must nest under its caller"
+        );
+    }
+
+    #[test]
+    fn uneven_chunk_partition_is_exact() {
+        // n_chunks not divisible by threads: ranges differ by one and
+        // must still cover 0..n exactly.
+        for (n, t) in [(7usize, 4usize), (13, 8), (1023, 16), (5, 2)] {
+            let sum = std::sync::atomic::AtomicUsize::new(0);
+            with_thread_count(t, || {
+                run_chunked(n, |i| {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), n * (n + 1) / 2, "n={n} t={t}");
+        }
+    }
+}

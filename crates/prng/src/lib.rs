@@ -1,0 +1,255 @@
+//! In-tree pseudo-random number generation.
+//!
+//! The workspace is hermetic (no crates.io), so the initial-condition
+//! samplers in `galaxy`, the fixtures in the test suites, and the bench
+//! input generators all draw from this crate instead of `rand`.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded through
+//! splitmix64 so that small, human-chosen seeds (0, 1, 2, …) expand to
+//! well-mixed 256-bit states. Both algorithms are public domain and
+//! fully specified, which keeps every sampled initial condition
+//! reproducible from a single `u64` seed across platforms.
+//!
+//! The call-site surface deliberately mirrors the subset of the `rand`
+//! API the workspace used (`random::<T>()`, `random_range(a..b)`,
+//! `Normal::new(μ, σ)` + `sample`), so porting a sampler is an import
+//! change, not a rewrite.
+
+mod normal;
+mod xoshiro;
+
+pub use normal::{Distribution, Normal, NormalError};
+pub use xoshiro::{splitmix64, Xoshiro256PlusPlus};
+
+/// The workspace's default generator.
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Convenience re-exports matching `use rand::prelude::*` call sites.
+pub mod prelude {
+    pub use crate::{Distribution, Normal, Rng, StdRng};
+}
+
+/// A source of uniform pseudo-random bits plus derived samplers.
+///
+/// Everything is defined in terms of [`Rng::next_u64`]; implementors
+/// only provide the raw stream.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a [`Standard`]-distributed type: integers over
+    /// their full range, floats uniform in `[0, 1)`, `bool` fair.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Sample uniformly from the half-open range `lo..hi`.
+    /// Integer ranges are unbiased (Lemire rejection); float ranges are
+    /// `lo + (hi − lo)·u` with `u ∈ [0, 1)`.
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+/// Types samplable from raw bits with a canonical "standard" law.
+pub trait Standard: Sized {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// 53 explicit mantissa bits → uniform on the 2⁻⁵³ grid of `[0, 1)`.
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// 24 explicit mantissa bits → uniform on the 2⁻²⁴ grid of `[0, 1)`.
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over half-open ranges.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased `[0, span)` via Lemire's widening-multiply rejection.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold of values rejected to make the multiply exact:
+    // 2⁶⁴ mod span, computed without u128 division by span twice.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty random_range");
+                lo + uniform_below(rng, (hi - lo) as u64) as $t
+            }
+        }
+    )+};
+}
+
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )+};
+}
+
+uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty random_range");
+        let u: f64 = Standard::from_rng(rng);
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty random_range");
+        let u: f32 = Standard::from_rng(rng);
+        lo + (hi - lo) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_floats_have_correct_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_range_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values must appear");
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.random_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn lemire_is_unbiased_over_tiny_spans() {
+        // A span of 3 exercises the rejection path; the three cells must
+        // be statistically even.
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut hist = [0u64; 3];
+        let n = 90_000;
+        for _ in 0..n {
+            hist[rng.random_range(0u64..3) as usize] += 1;
+        }
+        for &h in &hist {
+            let dev = (h as f64 - n as f64 / 3.0).abs() / (n as f64 / 3.0);
+            assert!(dev < 0.03, "histogram {hist:?}");
+        }
+    }
+
+    #[test]
+    fn full_width_integers_use_all_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut or_acc = 0u64;
+        let mut and_acc = u64::MAX;
+        for _ in 0..256 {
+            let v: u64 = rng.random();
+            or_acc |= v;
+            and_acc &= v;
+        }
+        assert_eq!(or_acc, u64::MAX, "every bit must be hittable");
+        assert_eq!(and_acc, 0, "no bit may be stuck at one");
+    }
+}

@@ -1,0 +1,98 @@
+//! splitmix64 seeding and the xoshiro256++ generator.
+//!
+//! xoshiro256++ (Blackman & Vigna, 2019): 256-bit state, period 2²⁵⁶−1,
+//! passes BigCrush, and needs only shifts/rotates/adds — cheap enough
+//! to sample millions of initial-condition particles without showing up
+//! in a profile. splitmix64 is the recommended state expander: it maps
+//! any 64-bit seed (including 0) to a full-entropy 256-bit state.
+
+use crate::Rng;
+
+/// One step of the splitmix64 sequence, advancing `state` in place.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expand a 64-bit seed into a full 256-bit state via splitmix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // Reference values for seed 0 (Steele, Lea & Flood appendix /
+        // widely reproduced test vector).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_matches_reference_vector() {
+        // Reference sequence for the all-ones-ish state used by the
+        // upstream C test: s = {1, 2, 3, 4}.
+        let mut rng = Xoshiro256PlusPlus { s: [1, 2, 3, 4] };
+        let expect: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for &e in &expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_does_not_collapse() {
+        // The raw xoshiro state {0,0,0,0} is the one forbidden fixpoint;
+        // splitmix64 seeding must never produce it.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        let v: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+        assert_ne!(v[0], v[1]);
+    }
+}

@@ -142,6 +142,10 @@ pub mod counters {
         SIMT_SHUFFLE_LANES => "simt.shuffle_lanes",
         // Initial conditions (galaxy).
         GALAXY_SAMPLED_PARTICLES => "galaxy.sampled_particles",
+        // In-tree work-stealing pool (parallel).
+        POOL_JOBS => "pool.jobs",
+        POOL_CHUNKS => "pool.chunks",
+        POOL_STEALS => "pool.steals",
     }
 }
 

@@ -1,0 +1,155 @@
+//! Micro-benchmark runner for the `harness = false` bench targets.
+//!
+//! Criterion-shaped where it matters — warm-up, batched measurement so
+//! sub-microsecond routines aren't swamped by timer overhead, median
+//! over samples, `setup`/`routine` separation so input construction is
+//! not timed — and nothing else. Results print as one aligned line per
+//! benchmark:
+//!
+//! ```text
+//! sort/devsort_radix/16384            412.3 µs/iter  (21 samples)
+//! ```
+//!
+//! Knobs: `GOTHIC_BENCH_QUICK=1` shrinks the time budget ~10× for CI
+//! smoke runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark.
+fn time_budget() -> Duration {
+    if std::env::var_os("GOTHIC_BENCH_QUICK").is_some() {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+const WARMUP_ITERS: u32 = 3;
+const MAX_SAMPLES: u32 = 50;
+const MIN_SAMPLES: u32 = 5;
+
+/// One benchmark suite (one `benches/*.rs` file).
+pub struct Suite {
+    name: &'static str,
+    results: Vec<(String, f64, u32)>,
+}
+
+impl Suite {
+    pub fn new(name: &'static str) -> Suite {
+        eprintln!("== bench suite: {name} ==");
+        Suite {
+            name,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmark `routine` with a fresh `setup()` input per iteration;
+    /// only `routine` is timed.
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        label: impl Into<String>,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let label = label.into();
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        // Calibrate: one timed iteration decides the sample count that
+        // fits the budget.
+        let probe_in = setup();
+        let t0 = Instant::now();
+        black_box(routine(probe_in));
+        let probe = t0.elapsed().max(Duration::from_nanos(50));
+        let budget = time_budget();
+        let samples =
+            ((budget.as_nanos() / probe.as_nanos()) as u32).clamp(MIN_SAMPLES, MAX_SAMPLES);
+        let mut times: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            times.push(t.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        eprintln!(
+            "{:<44} {:>12}/iter  ({} samples)",
+            format!("{}/{}", self.name, label),
+            fmt_ns(median),
+            samples
+        );
+        self.results.push((label, median, samples));
+    }
+
+    /// Benchmark a self-contained routine.
+    pub fn bench<R>(&mut self, label: impl Into<String>, mut routine: impl FnMut() -> R) {
+        self.bench_with_setup(label, || (), move |()| routine());
+    }
+
+    /// Median nanoseconds of a recorded benchmark, for callers that
+    /// post-process (e.g. the thread-scaling table).
+    pub fn median_ns(&self, label: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|&(_, ns, _)| ns)
+    }
+
+    /// Finish the suite (prints a footer; consumes the suite).
+    pub fn finish(self) {
+        eprintln!("== {}: {} benchmarks ==", self.name, self.results.len());
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_positive_median() {
+        std::env::set_var("GOTHIC_BENCH_QUICK", "1");
+        let mut s = Suite::new("selftest");
+        s.bench("sum", || (0..1000u64).sum::<u64>());
+        let ns = s.median_ns("sum").unwrap();
+        assert!(ns > 0.0);
+        s.finish();
+    }
+
+    #[test]
+    fn setup_is_not_timed() {
+        std::env::set_var("GOTHIC_BENCH_QUICK", "1");
+        let mut s = Suite::new("selftest2");
+        // Setup sleeps; routine is near-instant. If setup leaked into
+        // the measurement the median would exceed 2 ms.
+        s.bench_with_setup(
+            "fast",
+            || std::thread::sleep(Duration::from_millis(2)),
+            |()| 1 + 1,
+        );
+        let ns = s.median_ns("fast").unwrap();
+        assert!(ns < 1e6, "setup time leaked into measurement: {ns} ns");
+        s.finish();
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.5 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.5 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

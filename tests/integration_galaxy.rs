@@ -40,7 +40,7 @@ fn disk_subset_is_flattened_and_rotating() {
     // its structure.
     let m31 = M31Model::paper_model();
     let pot = m31.potential();
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let mut rng = prng::StdRng::seed_from_u64(5);
     let samples = m31.disk.sample(&pot, 4000, &mut rng);
     let mut lz = 0.0f64;
     let mut z2 = 0.0f64;
@@ -63,7 +63,7 @@ fn halo_is_roughly_isotropic() {
     let m31 = M31Model::paper_model();
     let pot = m31.potential();
     let df = eddington_df(&m31.halo as &dyn SphericalProfile, &pot);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let mut rng = prng::StdRng::seed_from_u64(9);
     let samples = sample_component(&m31.halo, &pot, &df, 4000, &mut rng);
     // Net angular momentum of an ergodic component ≈ 0 relative to its
     // total |L| budget.
