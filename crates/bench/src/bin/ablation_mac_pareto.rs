@@ -46,7 +46,7 @@ fn evaluate(ps: &mut ParticleSet, mac: Mac) -> (f64, f64) {
     let mut errs: Vec<f64> = (0..n)
         .map(|i| ((res.acc[i] - dacc[i]).norm() / dacc[i].norm().max(1e-12)) as f64)
         .collect();
-    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    errs.sort_by(|a, b| a.total_cmp(b));
     // The acceleration MAC's guarantee is on the error *relative to each
     // particle's acceleration* — a tail property. Compare the fronts at
     // the 99th percentile, where the per-particle bound bites.
@@ -105,7 +105,7 @@ fn main() {
         if let Some(&(_, aw)) = accel_front
             .iter()
             .filter(|&&(ae, _)| ae <= te)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
         {
             comparisons += 1;
             if aw <= tw {

@@ -214,7 +214,7 @@ mod tests {
         let d = test_disk();
         let mut rng = StdRng::seed_from_u64(5);
         let mut radii: Vec<f64> = (0..8000).map(|_| d.sample_radius(&mut rng)).collect();
-        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        radii.sort_by(|a, b| a.total_cmp(b));
         // Median of the exponential-disk mass profile: M(R)=M/2 at
         // R ≈ 1.678 R_d.
         let median = radii[radii.len() / 2];
@@ -271,7 +271,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let samples = d.sample(&pot, 8000, &mut rng);
         let mut zs: Vec<f64> = samples.iter().map(|(p, _)| (p.z as f64).abs()).collect();
-        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        zs.sort_by(|a, b| a.total_cmp(b));
         // Median |z| of a sech² profile: z_d·atanh(1/2) ≈ 0.5493 z_d.
         let median = zs[zs.len() / 2];
         assert!(

@@ -364,7 +364,7 @@ mod tests {
         let samples = sample_component(&p, &pot, &df, 8000, &mut rng);
         // Median radius ≈ half-mass radius 1.30a.
         let mut radii: Vec<f64> = samples.iter().map(|(p, _)| p.norm() as f64).collect();
-        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        radii.sort_by(|a, b| a.total_cmp(b));
         let median = radii[radii.len() / 2];
         assert!((median - 1.30).abs() < 0.1, "median radius {median}");
     }

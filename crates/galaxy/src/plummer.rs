@@ -69,7 +69,7 @@ mod tests {
     fn plummer_half_mass_radius() {
         let ps = plummer_model(8000, 1.0, 2.0, 7);
         let mut radii: Vec<f64> = ps.pos.iter().map(|p| p.norm() as f64).collect();
-        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        radii.sort_by(|a, b| a.total_cmp(b));
         let median = radii[radii.len() / 2];
         // r_half = 1.3048 a.
         assert!(

@@ -17,6 +17,7 @@
 //!   --log-every <k>                   report cadence          [8]
 //!   --trace <path|->                  JSON-lines trace (- = stderr)
 //!   --metrics                         per-run counter + wall-clock tables
+//!   --racecheck                       happens-before hazard sweep first
 //! ```
 
 use gothic::galaxy::{plummer_model, M31Model};
@@ -49,6 +50,11 @@ OPTIONS:
                                            <path> ('-' traces to stderr)
     --metrics                              print the measured-vs-modeled
                                            breakdown and counter tables on exit
+    --racecheck                            run the interpreter kernels (Table 2
+                                           reduction/scan sweep + gravity flush)
+                                           under the happens-before race
+                                           detector before simulating; exits 1
+                                           if any hazard is found
     -h, --help                             print this help
 
 Tracing and metrics are off by default and cost nothing when disabled.
@@ -71,6 +77,7 @@ struct Args {
     log_every: u64,
     trace: Option<String>,
     metrics: bool,
+    racecheck: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         log_every: 8,
         trace: None,
         metrics: false,
+        racecheck: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -110,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => a.trace = Some(val()?),
             "--metrics" => a.metrics = true,
+            "--racecheck" => a.racecheck = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -118,6 +127,66 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(a)
+}
+
+/// Run every shipped interpreter kernel under the happens-before race
+/// detector, faithful to the selected execution mode: the Pascal mode
+/// compiles the `__syncwarp()` out and assumes lockstep scheduling, the
+/// Volta mode keeps the syncs and must be hazard-free under *both*
+/// schedulers (§2.1). Returns the total hazard occurrence count.
+fn racecheck_preflight(mode: ExecMode) -> u64 {
+    use gothic::simt::{microbench, RacecheckReport, Scheduler};
+    let volta_sync = matches!(mode, ExecMode::VoltaMode);
+    let scheds: &[Scheduler] = if volta_sync {
+        &[Scheduler::Lockstep, Scheduler::Independent]
+    } else {
+        &[Scheduler::Lockstep]
+    };
+    let mut hazards = 0u64;
+    let mut runs = 0usize;
+    let mut tally = |name: String, correct: bool, rep: &RacecheckReport| {
+        runs += 1;
+        if !correct {
+            eprintln!("racecheck: {name}: WRONG RESULT");
+        }
+        if !rep.is_clean() {
+            hazards += rep.total;
+            eprintln!("racecheck: {name}: {rep}");
+        }
+    };
+    for &sched in scheds {
+        for ttot in [128usize, 256, 512, 1024] {
+            for tsub in [2u32, 4, 8, 16, 32] {
+                let (b, rep) = microbench::run_reduction_racechecked(ttot, tsub, volta_sync, sched);
+                tally(
+                    format!("reduction ttot={ttot} tsub={tsub} {sched:?}"),
+                    b.correct,
+                    &rep,
+                );
+                let (b, rep) = microbench::run_scan_racechecked(ttot, tsub, volta_sync, sched);
+                tally(
+                    format!("scan ttot={ttot} tsub={tsub} {sched:?}"),
+                    b.correct,
+                    &rep,
+                );
+            }
+        }
+        let (b, rep) = microbench::run_gravity_flush_racechecked(32, 1e-4, sched);
+        tally(format!("gravity-flush {sched:?}"), b.correct, &rep);
+    }
+    if hazards == 0 {
+        println!(
+            "racecheck: 0 hazards across {runs} kernel runs ({})",
+            if volta_sync {
+                "volta mode, both schedulers"
+            } else {
+                "pascal mode, lockstep"
+            }
+        );
+    } else {
+        println!("racecheck: {hazards} hazard occurrence(s) across {runs} kernel runs");
+    }
+    hazards
 }
 
 fn pick_arch(name: &str) -> Result<GpuArch, String> {
@@ -176,6 +245,11 @@ fn main() {
         },
         ..RunConfig::default()
     };
+
+    if args.racecheck && racecheck_preflight(cfg.mode) > 0 {
+        eprintln!("gothic_sim: racecheck found hazards; refusing to simulate");
+        std::process::exit(1);
+    }
 
     let mut sim = if let Some(path) = &args.restart {
         let snap = Snapshot::load(path).unwrap_or_else(|e| {

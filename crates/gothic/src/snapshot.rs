@@ -59,7 +59,7 @@ impl Snapshot {
     /// internal invariants.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Snapshot> {
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        r.read_exact(&mut magic).map_err(reject_truncation)?;
         if &magic != MAGIC {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -112,10 +112,31 @@ impl Snapshot {
         })
     }
 
-    /// Write to a file path.
+    /// Write to a file path, crash-safely.
+    ///
+    /// The snapshot is staged to a sibling `<path>.tmp`, flushed and
+    /// fsynced, then renamed over the target. A crash (or full disk)
+    /// mid-write therefore never leaves a truncated snapshot at `path`:
+    /// readers see either the old complete file or the new complete
+    /// file, and a stale `.tmp` from an interrupted run is simply
+    /// overwritten by the next save.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_to(&mut f)
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            self.write_to(&mut w)?;
+            w.flush()?;
+            let f = w.into_inner().map_err(|e| e.into_error())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Read from a file path.
@@ -154,9 +175,22 @@ fn write_reals<W: Write>(w: &mut W, v: &[Real]) -> io::Result<()> {
     Ok(())
 }
 
+/// Preserve the `UnexpectedEof` kind but say what it means here: the
+/// file ended before the advertised arrays did, i.e. a truncated write.
+fn reject_truncation(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated snapshot: file ends before the data it declares",
+        )
+    } else {
+        e
+    }
+}
+
 fn read_array<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
     let mut buf = [0u8; N];
-    r.read_exact(&mut buf)?;
+    r.read_exact(&mut buf).map_err(reject_truncation)?;
     Ok(buf)
 }
 
@@ -223,7 +257,85 @@ mod tests {
         let mut bytes = Vec::new();
         snap.write_to(&mut bytes).unwrap();
         bytes.truncate(bytes.len() / 2);
-        assert!(Snapshot::read_from(&mut bytes.as_slice()).is_err());
+        let err = Snapshot::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(
+            err.to_string().contains("truncated"),
+            "error should name the failure mode: {err}"
+        );
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let sim = crate::Gothic::new(plummer_model(64, 10.0, 1.0, 9), RunConfig::default());
+        let snap = Snapshot::capture(&sim);
+        let path = tmp("notmp");
+        snap.save(&path).unwrap();
+        let mut tmp_path = path.clone().into_os_string();
+        tmp_path.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp_path).exists(),
+            "staging file must be renamed away on success"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_recovers_from_a_stale_tmp_of_a_crashed_run() {
+        let sim = crate::Gothic::new(plummer_model(64, 10.0, 1.0, 10), RunConfig::default());
+        let snap = Snapshot::capture(&sim);
+        let path = tmp("stale");
+        let mut tmp_path = path.clone().into_os_string();
+        tmp_path.push(".tmp");
+        // A previous process died mid-write, leaving garbage at `.tmp`.
+        std::fs::write(&tmp_path, b"GOTHICSN partial garbage").unwrap();
+        snap.save(&path).unwrap();
+        assert!(!std::path::Path::new(&tmp_path).exists());
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_save_preserves_the_previous_snapshot() {
+        let sim = crate::Gothic::new(plummer_model(64, 10.0, 1.0, 11), RunConfig::default());
+        let snap = Snapshot::capture(&sim);
+        let path = tmp("failkeep");
+        snap.save(&path).unwrap();
+        // Saving into a nonexistent directory fails at staging time and
+        // must not disturb the snapshot already on disk.
+        let bad = std::env::temp_dir().join("gothic-no-such-dir").join("snap");
+        assert!(snap.save(&bad).is_err());
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_reader_never_observes_a_partial_snapshot() {
+        let sim_a = crate::Gothic::new(plummer_model(256, 10.0, 1.0, 12), RunConfig::default());
+        let mut sim_b = crate::Gothic::new(plummer_model(256, 10.0, 1.0, 13), RunConfig::default());
+        sim_b.run(2);
+        let a = Snapshot::capture(&sim_a);
+        let b = Snapshot::capture(&sim_b);
+        let path = tmp("atomic");
+        a.save(&path).unwrap();
+
+        let reader_path = path.clone();
+        let (a2, b2) = (a.clone(), b.clone());
+        let reader = std::thread::spawn(move || {
+            for _ in 0..200 {
+                let got = Snapshot::load(&reader_path).expect("load mid-save");
+                assert!(
+                    got == a2 || got == b2,
+                    "reader saw a state that was never fully written"
+                );
+            }
+        });
+        for i in 0..50 {
+            let s = if i % 2 == 0 { &b } else { &a };
+            s.save(&path).unwrap();
+        }
+        reader.join().unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

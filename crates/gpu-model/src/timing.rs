@@ -116,7 +116,7 @@ impl KernelTime {
         ];
         let (best, bound) = floors
             .into_iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .max_by(|a, b| a.0.total_cmp(&b.0))
             .unwrap();
         if self.sync + self.launch > best {
             Bound::Overhead
@@ -174,7 +174,7 @@ pub fn kernel_time(
     // Largest floor plus a leak of the runner-up (pipes never overlap
     // perfectly).
     let mut floors = [t_compute, t_memory, t_latency, t_issue];
-    floors.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    floors.sort_by(|a, b| b.total_cmp(a));
     let t_base = floors[0] + OVERLAP_LEAK * floors[1];
 
     // Synchronization. `__syncwarp` only exists in Volta-mode binaries on
@@ -415,6 +415,41 @@ mod bound_tests {
             },
         );
         assert_eq!(t.limiting_factor(), Bound::Latency);
+    }
+
+    /// Regression: a degenerate profile producing NaN floors must surface
+    /// as a diagnostic, not a `partial_cmp().unwrap()` panic inside the
+    /// floor sort (the pre-`total_cmp` behaviour).
+    #[test]
+    fn nan_floors_do_not_panic() {
+        // A zero-bandwidth arch with zero traffic: t_memory = 0/0 = NaN.
+        let broken = GpuArch {
+            mem_bw_gbs: 0.0,
+            ..GpuArch::tesla_v100()
+        };
+        let t = kernel_time(
+            &broken,
+            ExecMode::PascalMode,
+            GridBarrier::LockFree,
+            &OpCounts {
+                fp_add: 1000,
+                ..OpCounts::default()
+            },
+        );
+        assert!(t.memory.is_nan(), "degenerate input should surface as NaN");
+        // `total_cmp` gives NaN a deterministic place in the floor order
+        // (sign-dependent) instead of a panic; the other floors still
+        // combine into a finite total and the classification answers.
+        let _ = t.limiting_factor();
+        // Direct NaN floors in the classifier are likewise panic-free.
+        let t = KernelTime {
+            compute: f64::NAN,
+            memory: f64::NAN,
+            latency: f64::NAN,
+            issue: f64::NAN,
+            ..KernelTime::default()
+        };
+        let _ = t.limiting_factor();
     }
 
     #[test]

@@ -316,7 +316,7 @@ mod tests {
         let mut errs: Vec<f64> = (0..dacc.len())
             .map(|i| ((res.acc[i] - dacc[i]).norm() / dacc[i].norm().max(1e-12)) as f64)
             .collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         errs[errs.len() / 2]
     }
 
@@ -372,7 +372,7 @@ mod tests {
         let mut errs: Vec<f64> = (0..dpot.len())
             .map(|i| ((res.pot[i] - dpot[i]).abs() / dpot[i].abs()) as f64)
             .collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         assert!(
             errs[errs.len() / 2] < 2e-3,
             "median pot error {}",
@@ -601,7 +601,7 @@ mod individual_tests {
         let mut errs: Vec<f64> = (0..n)
             .map(|i| ((res.acc[i] - dacc[i]).norm() / dacc[i].norm().max(1e-12)) as f64)
             .collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         assert!(errs[n / 2] < 2e-3, "median error {}", errs[n / 2]);
     }
 

@@ -7,6 +7,7 @@
 //! intra-warp ones.
 
 use crate::ir::Program;
+use crate::racecheck::Racecheck;
 use crate::warp::{ExecEnv, ExecError, Scheduler, StepOutcome, Waiting, Warp, WARP_SIZE};
 
 /// One thread block.
@@ -83,13 +84,15 @@ impl ThreadBlock {
     }
 
     /// Advance one warp by one fragment-instruction (round-robin over
-    /// runnable warps).
+    /// runnable warps). Pass a [`Racecheck`] to observe the step under
+    /// the happens-before detector.
     pub fn step(
         &mut self,
         program: &Program,
         sched: Scheduler,
         global: &mut [u32],
         grid_dim: u32,
+        mut rc: Option<&mut Racecheck>,
     ) -> Result<BlockOutcome, ExecError> {
         if self.is_done() {
             return Ok(BlockOutcome::Done);
@@ -111,6 +114,7 @@ impl ThreadBlock {
                 global,
                 block_id: self.block_id,
                 grid_dim,
+                racecheck: rc.as_deref_mut(),
             };
             let out = self.warps[wi].step(program, sched, &mut env)?;
             self.next_warp = (wi + 1) % n;
@@ -121,6 +125,9 @@ impl ThreadBlock {
         }
         // No warp could advance: resolve the block barrier or escalate.
         if self.try_release_syncthreads() {
+            if let Some(rc) = rc {
+                rc.on_syncthreads(self.block_id);
+            }
             return Ok(BlockOutcome::Advanced);
         }
         let all_grid = self
@@ -198,7 +205,7 @@ mod tests {
         let mut b = ThreadBlock::new(0, threads, 64, p);
         let mut global = vec![0u32; 4];
         for _ in 0..1_000_000 {
-            match b.step(p, sched, &mut global, 1).unwrap() {
+            match b.step(p, sched, &mut global, 1, None).unwrap() {
                 BlockOutcome::Done => break,
                 BlockOutcome::AtGridBarrier => panic!("no grid sync in program"),
                 BlockOutcome::Advanced => {}

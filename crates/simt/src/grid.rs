@@ -6,7 +6,8 @@
 
 use crate::block::{BlockOutcome, ThreadBlock};
 use crate::ir::Program;
-use crate::warp::{ExecError, Scheduler};
+use crate::racecheck::{Racecheck, RacecheckConfig, RacecheckReport};
+use crate::warp::{ExecError, Scheduler, WARP_SIZE};
 
 /// Execution statistics of one grid run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +64,31 @@ impl Grid {
         sched: Scheduler,
         max_steps: u64,
     ) -> Result<GridStats, ExecError> {
+        self.run_inner(program, sched, max_steps, None)
+    }
+
+    /// Run to completion under the happens-before race detector; returns
+    /// the execution statistics and the hazard report.
+    pub fn run_racechecked(
+        &mut self,
+        program: &Program,
+        sched: Scheduler,
+        max_steps: u64,
+        cfg: RacecheckConfig,
+    ) -> Result<(GridStats, RacecheckReport), ExecError> {
+        let tpb = (self.blocks[0].warps.len() * WARP_SIZE) as u32;
+        let mut rc = Racecheck::new(self.blocks.len() as u32, tpb, cfg);
+        let stats = self.run_inner(program, sched, max_steps, Some(&mut rc))?;
+        Ok((stats, rc.finish()))
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        sched: Scheduler,
+        max_steps: u64,
+        mut rc: Option<&mut Racecheck>,
+    ) -> Result<GridStats, ExecError> {
         let grid_dim = self.blocks.len() as u32;
         let mut steps = 0u64;
         loop {
@@ -77,7 +103,13 @@ impl Grid {
                     continue;
                 }
                 live += 1;
-                match b.step(program, sched, &mut self.global, grid_dim)? {
+                match b.step(
+                    program,
+                    sched,
+                    &mut self.global,
+                    grid_dim,
+                    rc.as_deref_mut(),
+                )? {
                     BlockOutcome::Advanced => progressed = true,
                     BlockOutcome::AtGridBarrier => at_barrier += 1,
                     BlockOutcome::Done => {}
@@ -95,6 +127,9 @@ impl Grid {
                         }
                     }
                     self.grid_syncs += 1;
+                    if let Some(rc) = rc.as_deref_mut() {
+                        rc.on_grid_sync();
+                    }
                 } else {
                     return Err(ExecError::Deadlock);
                 }

@@ -363,6 +363,53 @@ pub fn op_class(inst: &Inst) -> OpClass {
     }
 }
 
+/// PTX-flavoured mnemonic of one op, used by racecheck hazard reports
+/// and trace lines.
+pub fn op_mnemonic(op: &Op) -> &'static str {
+    match op {
+        Op::ConstI(..) => "mov.imm.s32",
+        Op::ConstF(..) => "mov.imm.f32",
+        Op::Mov(..) => "mov",
+        Op::LaneId(..) => "mov.laneid",
+        Op::WarpId(..) => "mov.warpid",
+        Op::ThreadId(..) => "mov.tid",
+        Op::BlockId(..) => "mov.ctaid",
+        Op::GridDim(..) => "mov.nctaid",
+        Op::AddI(..) => "add.s32",
+        Op::SubI(..) => "sub.s32",
+        Op::MulI(..) => "mul.s32",
+        Op::AndI(..) => "and.b32",
+        Op::OrI(..) => "or.b32",
+        Op::XorI(..) => "xor.b32",
+        Op::ShlI(..) => "shl.b32",
+        Op::ShrI(..) => "shr.b32",
+        Op::LtI(..) => "setp.lt.s32",
+        Op::EqI(..) => "setp.eq.s32",
+        Op::AddF(..) => "add.f32",
+        Op::SubF(..) => "sub.f32",
+        Op::MulF(..) => "mul.f32",
+        Op::FmaF(..) => "fma.f32",
+        Op::RsqrtF(..) => "rsqrt.f32",
+        Op::LtF(..) => "setp.lt.f32",
+        Op::LdShared(..) => "ld.shared",
+        Op::StShared(..) => "st.shared",
+        Op::LdGlobal(..) => "ld.global",
+        Op::StGlobal(..) => "st.global",
+        Op::AtomicAddGlobal(..) => "atom.global.add",
+        Op::ActiveMask(..) => "activemask",
+        Op::Shfl(..) => "shfl.idx.sync",
+        Op::ShflXor(..) => "shfl.bfly.sync",
+        Op::ShflUp(..) => "shfl.up.sync",
+        Op::ShflDown(..) => "shfl.down.sync",
+        Op::Ballot(..) => "vote.ballot.sync",
+        Op::VoteAll(..) => "vote.all.sync",
+        Op::VoteAny(..) => "vote.any.sync",
+        Op::SyncWarp(..) => "bar.warp.sync",
+        Op::SyncThreads => "bar.sync",
+        Op::GridSync => "grid.sync",
+    }
+}
+
 /// Issue cost (cycles) of one instruction — used by the micro-benchmark
 /// cost accounting.
 pub fn op_cost(inst: &Inst) -> u64 {

@@ -23,13 +23,18 @@ pub mod carveout;
 pub mod grid;
 pub mod ir;
 pub mod microbench;
+pub mod racecheck;
 pub mod warp;
 
 pub use barrier::{grid_sync_barrier, lockfree_barrier, BarrierRegs};
 pub use block::{BlockOutcome, ThreadBlock};
 pub use carveout::{carveout_capacity_kib, carveout_percent_for, CARVEOUT_CANDIDATES_KIB};
 pub use grid::{Grid, GridStats};
-pub use ir::{op_class, Inst, MaskSpec, Op, OpClass, Program, Reg, Stmt, FULL_MASK};
+pub use ir::{op_class, op_mnemonic, Inst, MaskSpec, Op, OpClass, Program, Reg, Stmt, FULL_MASK};
+pub use racecheck::{
+    AccessKind, CollectiveSite, Hazard, HazardRecord, MemSpace, RaceKind, Racecheck,
+    RacecheckConfig, RacecheckReport, SyncScope, Tid,
+};
 pub use warp::{
     ExecEnv, ExecError, Fragment, LaneCounts, Scheduler, StepOutcome, Waiting, Warp, POISON,
     WARP_SIZE,

@@ -11,6 +11,7 @@
 
 use crate::grid::{Grid, GridStats};
 use crate::ir::{MaskSpec, Op, Program, Reg, Stmt};
+use crate::racecheck::{RacecheckConfig, RacecheckReport};
 use crate::warp::Scheduler;
 
 /// Build a block-wide sum reduction over sub-groups of `tsub` lanes.
@@ -167,6 +168,81 @@ pub fn run_scan(ttot: usize, tsub: u32, volta_sync: bool, sched: Scheduler) -> B
         }
     }
     BenchRun { stats, correct }
+}
+
+/// [`run_reduction`] under the happens-before race detector.
+pub fn run_reduction_racechecked(
+    ttot: usize,
+    tsub: u32,
+    volta_sync: bool,
+    sched: Scheduler,
+) -> (BenchRun, RacecheckReport) {
+    let p = reduction_kernel(tsub, volta_sync);
+    let n_groups = ttot / tsub as usize;
+    let mut g = Grid::new(1, ttot, n_groups.max(1), 4, &p);
+    let (stats, report) = g
+        .run_racechecked(&p, sched, 50_000_000, RacecheckConfig::default())
+        .expect("reduction kernel must terminate");
+    let mut correct = true;
+    for group in 0..n_groups {
+        let base = group * tsub as usize;
+        let expect: u32 = (0..tsub as usize).map(|i| (base + i + 1) as u32).sum();
+        if g.blocks[0].shared[group] != expect {
+            correct = false;
+        }
+    }
+    (BenchRun { stats, correct }, report)
+}
+
+/// [`run_scan`] under the happens-before race detector.
+pub fn run_scan_racechecked(
+    ttot: usize,
+    tsub: u32,
+    volta_sync: bool,
+    sched: Scheduler,
+) -> (BenchRun, RacecheckReport) {
+    let p = scan_kernel(tsub, volta_sync);
+    let mut g = Grid::new(1, ttot, ttot, 4, &p);
+    let (stats, report) = g
+        .run_racechecked(&p, sched, 50_000_000, RacecheckConfig::default())
+        .expect("scan kernel must terminate");
+    let mut correct = true;
+    for t in 0..ttot {
+        let expect = (t % tsub as usize + 1) as u32;
+        if g.blocks[0].shared[t] != expect {
+            correct = false;
+        }
+    }
+    (BenchRun { stats, correct }, report)
+}
+
+/// Run the gravity flush kernel (one warp, `n_sources` pre-staged source
+/// records) under the happens-before race detector.
+pub fn run_gravity_flush_racechecked(
+    n_sources: u32,
+    eps2: f32,
+    sched: Scheduler,
+) -> (BenchRun, RacecheckReport) {
+    let p = gravity_flush_kernel(n_sources, eps2);
+    let shared_words = (4 * n_sources + 32) as usize;
+    let mut g = Grid::new(1, 32, shared_words, 4, &p);
+    // Stage the source list: entry j at (j, 2j, -j)·0.05 with mass 1+j/8.
+    for j in 0..n_sources as usize {
+        let f = j as f32;
+        g.blocks[0].shared[4 * j] = (0.05 * f).to_bits();
+        g.blocks[0].shared[4 * j + 1] = (0.10 * f).to_bits();
+        g.blocks[0].shared[4 * j + 2] = (-0.05 * f).to_bits();
+        g.blocks[0].shared[4 * j + 3] = (1.0 + f / 8.0).to_bits();
+    }
+    let (stats, report) = g
+        .run_racechecked(&p, sched, 50_000_000, RacecheckConfig::default())
+        .expect("gravity flush kernel must terminate");
+    // Every lane must have flushed a finite az to its private slot.
+    let correct = (0..32).all(|l| {
+        let az = f32::from_bits(g.blocks[0].shared[(4 * n_sources) as usize + l]);
+        az.is_finite()
+    });
+    (BenchRun { stats, correct }, report)
 }
 
 /// Build the gravity **flush** micro-kernel: every lane holds one sink

@@ -22,7 +22,8 @@
 //! Independent unless a `__syncwarp()` orders it — exactly the class of
 //! bug the paper's porting recipes address.
 
-use crate::ir::{op_class, op_cost, Inst, MaskSpec, Op, OpClass, Program, Reg};
+use crate::ir::{op_class, op_cost, op_mnemonic, Inst, MaskSpec, Op, OpClass, Program, Reg};
+use crate::racecheck::{AccessKind, CollectiveSite, Racecheck, Tid};
 
 /// Lanes per warp.
 pub const WARP_SIZE: usize = 32;
@@ -62,13 +63,35 @@ pub struct Fragment {
     pub born: u64,
 }
 
-/// Execution environment handed to the warp by its block: memories and
-/// geometry.
+/// Execution environment handed to the warp by its block: memories,
+/// geometry, and (opt-in) the happens-before checker.
 pub struct ExecEnv<'a> {
     pub shared: &'a mut [u32],
     pub global: &'a mut [u32],
     pub block_id: u32,
     pub grid_dim: u32,
+    /// When present, every memory access, collective and sync release is
+    /// reported to the detector (see [`crate::racecheck`]).
+    pub racecheck: Option<&'a mut Racecheck>,
+}
+
+impl<'a> ExecEnv<'a> {
+    /// Environment without race checking.
+    pub fn new(shared: &'a mut [u32], global: &'a mut [u32], block_id: u32, grid_dim: u32) -> Self {
+        ExecEnv {
+            shared,
+            global,
+            block_id,
+            grid_dim,
+            racecheck: None,
+        }
+    }
+
+    /// Attach a happens-before checker.
+    pub fn with_racecheck(mut self, rc: &'a mut Racecheck) -> Self {
+        self.racecheck = Some(rc);
+        self
+    }
 }
 
 /// Execution errors (all represent CUDA undefined behaviour or resource
@@ -250,11 +273,12 @@ impl Warp {
     }
 
     /// Release any `__syncwarp` groups whose full mask has arrived; merge
-    /// released fragments that share a PC. Returns true when something
-    /// was released.
-    fn try_release_syncwarp(&mut self) -> bool {
+    /// released fragments that share a PC. Returns the arrived lane mask
+    /// of every group released (each is a happens-before join for the
+    /// racecheck layer).
+    fn try_release_syncwarp(&mut self) -> Vec<u32> {
         // Collect arrival masks per barrier mask value.
-        let mut released_any = false;
+        let mut released: Vec<u32> = Vec::new();
         let masks: Vec<u32> = self
             .frags
             .iter()
@@ -277,15 +301,24 @@ impl Warp {
                 for f in &mut self.frags {
                     if f.waiting == Some(Waiting::SyncWarp(m)) {
                         f.waiting = None;
-                        released_any = true;
                     }
                 }
+                released.push(arrived);
             }
         }
-        if released_any {
+        if !released.is_empty() {
             self.merge_equal_pc_runnable();
         }
-        released_any
+        released
+    }
+
+    /// Report released `__syncwarp` groups to the detector as join edges.
+    fn report_syncwarp_releases(&self, env: &mut ExecEnv<'_>, released: &[u32]) {
+        if let Some(rc) = env.racecheck.as_deref_mut() {
+            for &m in released {
+                rc.on_syncwarp_release(env.block_id, self.warp_id, m);
+            }
+        }
     }
 
     /// Advance one fragment by one instruction.
@@ -301,7 +334,9 @@ impl Warp {
         let Some(fi) = self.select_fragment(sched) else {
             // Everything is waiting. Syncwarp barriers we can resolve
             // ourselves; block/grid barriers belong to the caller.
-            if self.try_release_syncwarp() {
+            let released = self.try_release_syncwarp();
+            if !released.is_empty() {
+                self.report_syncwarp_releases(env, &released);
                 return Ok(StepOutcome::Advanced);
             }
             let all_block_level = self
@@ -373,6 +408,63 @@ impl Warp {
         Ok(StepOutcome::Advanced)
     }
 
+    /// Racecheck call-site descriptor for a collective at `pc`.
+    fn site(&self, block: u32, pc: usize, op: &Op) -> CollectiveSite {
+        CollectiveSite {
+            block,
+            warp: self.warp_id,
+            pc,
+            op: op_mnemonic(op),
+        }
+    }
+
+    /// Report one lane's shared-memory access to the detector.
+    fn trace_shared(
+        &self,
+        env: &mut ExecEnv<'_>,
+        lane: usize,
+        addr: u32,
+        pc: usize,
+        op: &'static str,
+        kind: AccessKind,
+    ) {
+        if let Some(rc) = env.racecheck.as_deref_mut() {
+            let t = Tid {
+                block: env.block_id,
+                warp: self.warp_id,
+                lane: lane as u32,
+            };
+            rc.on_shared(t, addr, pc, op, kind);
+        }
+    }
+
+    /// Report one lane's global-memory access to the detector.
+    fn trace_global(
+        &self,
+        env: &mut ExecEnv<'_>,
+        lane: usize,
+        addr: u32,
+        pc: usize,
+        op: &'static str,
+        kind: AccessKind,
+    ) {
+        if let Some(rc) = env.racecheck.as_deref_mut() {
+            let t = Tid {
+                block: env.block_id,
+                warp: self.warp_id,
+                lane: lane as u32,
+            };
+            rc.on_global(t, addr, pc, op, kind);
+        }
+    }
+
+    /// Participation-mask check for shuffles/votes/ballots.
+    fn trace_collective(&self, env: &mut ExecEnv<'_>, pc: usize, op: &Op, exec_mask: u32, pm: u32) {
+        if let Some(rc) = env.racecheck.as_deref_mut() {
+            rc.on_collective(self.site(env.block_id, pc, op), exec_mask, pm);
+        }
+    }
+
     fn exec_op(&mut self, fi: usize, op: Op, env: &mut ExecEnv<'_>) -> Result<(), ExecError> {
         let frag = self.frags[fi];
         let mask = frag.mask;
@@ -438,6 +530,7 @@ impl Warp {
                             size: env.shared.len(),
                         })?;
                     self.set_reg(l, d, v);
+                    self.trace_shared(env, l, addr, frag.pc, "ld.shared", AccessKind::Read);
                 }
             }
             StShared(a, s) => {
@@ -448,6 +541,7 @@ impl Warp {
                     *env.shared
                         .get_mut(addr as usize)
                         .ok_or(ExecError::SharedOutOfBounds { addr, size })? = v;
+                    self.trace_shared(env, l, addr, frag.pc, "st.shared", AccessKind::Write);
                 }
             }
             LdGlobal(d, a) => {
@@ -461,6 +555,7 @@ impl Warp {
                             size: env.global.len(),
                         })?;
                     self.set_reg(l, d, v);
+                    self.trace_global(env, l, addr, frag.pc, "ld.global", AccessKind::Read);
                 }
             }
             StGlobal(a, s) => {
@@ -471,6 +566,7 @@ impl Warp {
                     *env.global
                         .get_mut(addr as usize)
                         .ok_or(ExecError::GlobalOutOfBounds { addr, size })? = v;
+                    self.trace_global(env, l, addr, frag.pc, "st.global", AccessKind::Write);
                 }
             }
             AtomicAddGlobal(d, a, s) => {
@@ -485,6 +581,7 @@ impl Warp {
                     let old = *cell;
                     *cell = old.wrapping_add(v);
                     self.set_reg(l, d, old);
+                    self.trace_global(env, l, addr, frag.pc, "atom.global.add", AccessKind::Atomic);
                 }
             }
             ActiveMask(d) => {
@@ -494,6 +591,7 @@ impl Warp {
             }
             Shfl(d, val, src_lane, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let snapshot: Vec<u32> = (0..WARP_SIZE).map(|l| self.reg(l, val)).collect();
                 for l in Self::lanes(mask) {
                     let out = if pm & (1 << l) == 0 {
@@ -511,6 +609,7 @@ impl Warp {
             }
             ShflXor(d, val, lanemask, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let snapshot: Vec<u32> = (0..WARP_SIZE).map(|l| self.reg(l, val)).collect();
                 for l in Self::lanes(mask) {
                     let s = l ^ (lanemask as usize % WARP_SIZE);
@@ -524,6 +623,7 @@ impl Warp {
             }
             ShflDown(d, val, delta, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let snapshot: Vec<u32> = (0..WARP_SIZE).map(|l| self.reg(l, val)).collect();
                 for l in Self::lanes(mask) {
                     let out = if pm & (1 << l) == 0 {
@@ -543,6 +643,7 @@ impl Warp {
             }
             VoteAll(d, pred, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let all = Self::lanes(mask & pm).all(|l| self.reg(l, pred) != 0) as u32;
                 for l in Self::lanes(mask) {
                     let out = if pm & (1 << l) != 0 { all } else { POISON };
@@ -551,6 +652,7 @@ impl Warp {
             }
             VoteAny(d, pred, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let any = Self::lanes(mask & pm).any(|l| self.reg(l, pred) != 0) as u32;
                 for l in Self::lanes(mask) {
                     let out = if pm & (1 << l) != 0 { any } else { POISON };
@@ -559,6 +661,7 @@ impl Warp {
             }
             ShflUp(d, val, delta, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let snapshot: Vec<u32> = (0..WARP_SIZE).map(|l| self.reg(l, val)).collect();
                 for l in Self::lanes(mask) {
                     let out = if pm & (1 << l) == 0 {
@@ -578,6 +681,7 @@ impl Warp {
             }
             Ballot(d, pred, m) => {
                 let pm = self.resolve_mask(m, mask);
+                self.trace_collective(env, frag.pc, &op, mask, pm);
                 let mut bits = 0u32;
                 for l in Self::lanes(mask & pm) {
                     if self.reg(l, pred) != 0 {
@@ -592,9 +696,13 @@ impl Warp {
             SyncWarp(m) => {
                 let pm = self.resolve_mask(m, mask);
                 self.syncwarps += 1;
+                if let Some(rc) = env.racecheck.as_deref_mut() {
+                    rc.on_syncwarp_exec(self.site(env.block_id, frag.pc, &op), mask, pm);
+                }
                 self.frags[fi].waiting = Some(Waiting::SyncWarp(pm));
                 self.frags[fi].pc += 1;
-                self.try_release_syncwarp();
+                let released = self.try_release_syncwarp();
+                self.report_syncwarp_releases(env, &released);
                 return Ok(());
             }
             SyncThreads => {
@@ -662,13 +770,8 @@ mod tests {
     use super::*;
     use crate::ir::{Program, Stmt, FULL_MASK};
 
-    fn env<'a>(shared: &'a mut Vec<u32>, global: &'a mut Vec<u32>) -> ExecEnv<'a> {
-        ExecEnv {
-            shared,
-            global,
-            block_id: 0,
-            grid_dim: 1,
-        }
+    fn env<'a>(shared: &'a mut [u32], global: &'a mut [u32]) -> ExecEnv<'a> {
+        ExecEnv::new(shared, global, 0, 1)
     }
 
     /// Run one warp to completion, returning it.
@@ -933,12 +1036,7 @@ mod tests {
         let mut shared = vec![0u32; 1];
         let mut global = vec![0u32; 1];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv {
-            shared: &mut shared,
-            global: &mut global,
-            block_id: 0,
-            grid_dim: 1,
-        };
+        let mut e = ExecEnv::new(&mut shared, &mut global, 0, 1);
         // The spinner never reaches a syncwarp, so the full-mask barrier
         // can never be satisfied: bound the steps and verify the waiting
         // fragment stays blocked.
@@ -967,12 +1065,7 @@ mod tests {
         let mut shared = vec![0u32; 4];
         let mut global = vec![0u32; 4];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv {
-            shared: &mut shared,
-            global: &mut global,
-            block_id: 0,
-            grid_dim: 1,
-        };
+        let mut e = ExecEnv::new(&mut shared, &mut global, 0, 1);
         let mut err = None;
         for _ in 0..10 {
             match w.step(&p, Scheduler::Lockstep, &mut e) {
@@ -1030,12 +1123,7 @@ mod tests {
         let mut shared = vec![0u32; 1];
         let mut global = vec![0u32; 1];
         let mut w = Warp::new(0, &p);
-        let mut e = ExecEnv {
-            shared: &mut shared,
-            global: &mut global,
-            block_id: 0,
-            grid_dim: 1,
-        };
+        let mut e = ExecEnv::new(&mut shared, &mut global, 0, 1);
         while w.step(&p, Scheduler::Lockstep, &mut e).unwrap() != StepOutcome::Done {}
         assert_eq!(global[0], 32);
         let mut olds: Vec<u32> = (0..WARP_SIZE).map(|l| w.reg(l, Reg(2))).collect();

@@ -22,12 +22,7 @@ fn run() -> (simt::LaneCounts, Vec<f32>) {
     }
     let mut global = vec![0u32; 4];
     let mut w = Warp::new(0, &p);
-    let mut env = ExecEnv {
-        shared: &mut shared,
-        global: &mut global,
-        block_id: 0,
-        grid_dim: 1,
-    };
+    let mut env = ExecEnv::new(&mut shared, &mut global, 0, 1);
     loop {
         if w.step(&p, Scheduler::Independent, &mut env).unwrap() == StepOutcome::Done {
             break;
@@ -108,12 +103,7 @@ fn flush_kernel_is_scheduler_equivalent() {
         }
         let mut global = vec![0u32; 4];
         let mut w = Warp::new(0, &p);
-        let mut env = ExecEnv {
-            shared: &mut shared,
-            global: &mut global,
-            block_id: 0,
-            grid_dim: 1,
-        };
+        let mut env = ExecEnv::new(&mut shared, &mut global, 0, 1);
         while w.step(&p, sched, &mut env).unwrap() != StepOutcome::Done {}
         results.push((w.lane_counts, shared.clone()));
     }

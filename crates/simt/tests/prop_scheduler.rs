@@ -40,12 +40,7 @@ fn run(p: &Program, sched: Scheduler) -> (Vec<u32>, Vec<u32>) {
     let mut shared = vec![0u32; 64];
     let mut global = vec![0u32; 8];
     let mut w = Warp::new(0, p);
-    let mut env = ExecEnv {
-        shared: &mut shared,
-        global: &mut global,
-        block_id: 0,
-        grid_dim: 1,
-    };
+    let mut env = ExecEnv::new(&mut shared, &mut global, 0, 1);
     for _ in 0..500_000 {
         if w.step(p, sched, &mut env).unwrap() == StepOutcome::Done {
             break;
@@ -239,12 +234,7 @@ fn shuffle_reduction_matches_sequential_reference() {
                 let mut shared = vec![0u32; 64];
                 let mut global = vec![0u32; 8];
                 let mut w = Warp::new(0, &p);
-                let mut env = ExecEnv {
-                    shared: &mut shared,
-                    global: &mut global,
-                    block_id: 0,
-                    grid_dim: 1,
-                };
+                let mut env = ExecEnv::new(&mut shared, &mut global, 0, 1);
                 for _ in 0..500_000 {
                     if w.step(&p, sched, &mut env).unwrap() == StepOutcome::Done {
                         break;
@@ -282,12 +272,7 @@ fn shfl_down_and_votes_work() {
     let mut shared = vec![0u32; 4];
     let mut global = vec![0u32; 4];
     let mut w = Warp::new(0, &p);
-    let mut env = ExecEnv {
-        shared: &mut shared,
-        global: &mut global,
-        block_id: 0,
-        grid_dim: 1,
-    };
+    let mut env = ExecEnv::new(&mut shared, &mut global, 0, 1);
     while w.step(&p, Scheduler::Independent, &mut env).unwrap() != StepOutcome::Done {}
     for l in 0..32 {
         let expect = if l + 4 < 32 { (l + 4) as u32 } else { l as u32 };

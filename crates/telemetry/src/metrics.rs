@@ -140,6 +140,10 @@ pub mod counters {
         SIMT_BLOCK_SYNCS => "simt.block_syncs",
         SIMT_GRID_BARRIERS => "simt.grid_barriers",
         SIMT_SHUFFLE_LANES => "simt.shuffle_lanes",
+        // Racecheck hazard occurrences (simt::racecheck), by class.
+        SIMT_HAZARDS_SHARED => "simt.hazards.shared",
+        SIMT_HAZARDS_GLOBAL => "simt.hazards.global",
+        SIMT_HAZARDS_SHUFFLE => "simt.hazards.shuffle",
         // Initial conditions (galaxy).
         GALAXY_SAMPLED_PARTICLES => "galaxy.sampled_particles",
         // In-tree work-stealing pool (parallel).

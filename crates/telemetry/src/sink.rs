@@ -11,6 +11,8 @@
 //! | `span`     | [`crate::span`] guards on drop     | `name`, `depth`, `thread`, `t_ns`, `dur_ns` |
 //! | `step`     | `gothic::pipeline` per block step  | `step`, `t`, `n_active`, `rebuilt`, `modeled_s`, `wall_s`, event totals |
 //! | `counters` | [`emit_counters`]                  | every registry counter, by name |
+//! | `hazard`   | `simt::racecheck` per hazard site  | `class`, access pair / mask bits, `count` |
+//! | `racecheck`| `simt::racecheck` report summary   | `hazards`, `distinct`, `truncated` |
 //!
 //! The sink is behind a `Mutex`; span emission is per phase (a handful
 //! of events per block step), so lock traffic is negligible next to the
@@ -65,7 +67,7 @@ fn install(t: Target) {
         let mut o = JsonObject::new();
         o.str("type", "meta")
             .u64("version", TRACE_VERSION as u64)
-            .str("schema", "span|step|counters");
+            .str("schema", "span|step|counters|hazard|racecheck");
         o.finish()
     };
     let mut g = lock();

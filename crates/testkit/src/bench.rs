@@ -72,7 +72,7 @@ impl Suite {
             black_box(routine(input));
             times.push(t.elapsed().as_nanos() as f64);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        times.sort_by(|a, b| a.total_cmp(b));
         let median = times[times.len() / 2];
         eprintln!(
             "{:<44} {:>12}/iter  ({} samples)",

@@ -17,7 +17,7 @@ use gothic::{Gothic, RunConfig};
 
 fn lagrangian_radii(sim: &Gothic, fractions: &[f64]) -> Vec<f64> {
     let mut radii: Vec<f64> = sim.ps.pos.iter().map(|p| p.norm() as f64).collect();
-    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.sort_by(|a, b| a.total_cmp(b));
     fractions
         .iter()
         .map(|&f| radii[((radii.len() as f64 * f) as usize).min(radii.len() - 1)])

@@ -39,7 +39,7 @@ fn tree_vs_direct(ps: &mut ParticleSet, mac: Mac, eps2: Real) -> (Vec<f64>, u64)
 }
 
 fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     v[((v.len() as f64 * p) as usize).min(v.len() - 1)]
 }
 

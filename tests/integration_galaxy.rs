@@ -93,7 +93,7 @@ fn component_density_structure_is_layered() {
     let m31 = M31Model::paper_model();
     let ps = m31.sample(8192, 3);
     let mut radii: Vec<f64> = ps.pos.iter().map(|p| p.norm() as f64).collect();
-    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.sort_by(|a, b| a.total_cmp(b));
     let median = radii[radii.len() / 2];
     // NFW with rs = 7.63 truncated at 240: half-mass radius ≈ 30–60 kpc.
     assert!((10.0..80.0).contains(&median), "median radius {median}");
@@ -122,6 +122,6 @@ fn m31_survives_dynamical_evolution_without_artifacts() {
 
 fn half_mass_radius(sim: &gothic::Gothic) -> f64 {
     let mut radii: Vec<f64> = sim.ps.pos.iter().map(|p| p.norm() as f64).collect();
-    radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    radii.sort_by(|a, b| a.total_cmp(b));
     radii[radii.len() / 2]
 }

@@ -17,12 +17,7 @@ fn run_warp(p: &Program, sched: Scheduler, shared: usize) -> (Warp, Vec<u32>) {
     let mut sh = vec![0u32; shared];
     let mut gl = vec![0u32; 16];
     let mut w = Warp::new(0, p);
-    let mut env = ExecEnv {
-        shared: &mut sh,
-        global: &mut gl,
-        block_id: 0,
-        grid_dim: 1,
-    };
+    let mut env = ExecEnv::new(&mut sh, &mut gl, 0, 1);
     for _ in 0..200_000 {
         if w.step(p, sched, &mut env).unwrap() == StepOutcome::Done {
             break;
