@@ -123,10 +123,39 @@ fn parse_args() -> Result<Args, String> {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag {other}")),
+            other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
+    validate_args(&a)?;
     Ok(a)
+}
+
+/// Reject values that would panic deep inside the pipeline (zero particle
+/// counts, a zero logging cadence used as a modulus, non-finite or
+/// non-positive accuracy parameters) with a clear message instead.
+fn validate_args(a: &Args) -> Result<(), String> {
+    if a.n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    if a.steps == 0 {
+        return Err("--steps must be at least 1".into());
+    }
+    if a.log_every == 0 {
+        return Err("--log-every must be at least 1".into());
+    }
+    let positive = |name: &str, v: f32| -> Result<(), String> {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("{name} must be a finite positive number, got {v}"));
+        }
+        Ok(())
+    };
+    positive("--dacc", a.dacc)?;
+    positive("--eta", a.eta)?;
+    positive("--eps", a.eps)?;
+    if !matches!(a.model.as_str(), "m31" | "plummer" | "hernquist") {
+        return Err(format!("unknown model {}", a.model));
+    }
+    Ok(())
 }
 
 /// Run every shipped interpreter kernel under the happens-before race

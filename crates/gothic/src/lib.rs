@@ -25,13 +25,15 @@
 //! }
 //! ```
 
+pub mod cancel;
 pub mod config;
 pub mod pipeline;
 pub mod profile;
 pub mod snapshot;
 
-pub use config::{RebuildPolicy, RunConfig};
-pub use pipeline::{Gothic, StepReport, WallTimes};
+pub use cancel::{CancelReason, CancelToken, Cancelled};
+pub use config::{fnv1a64, RebuildPolicy, RunConfig};
+pub use pipeline::{CancelledRun, Gothic, StepReport, WallTimes};
 pub use profile::{price_step, Function, KernelCost, Profile, StepEvents};
 pub use snapshot::Snapshot;
 

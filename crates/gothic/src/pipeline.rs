@@ -20,6 +20,7 @@
 //! architecture (see [`crate::profile`]); the recorded events also let
 //! the benchmark harness re-price the same run on every GPU of Fig. 1.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::{RebuildPolicy, RunConfig};
 use crate::profile::{price_step, Function, Profile, StepEvents};
 use gpu_model::IntegrateEvents;
@@ -83,6 +84,14 @@ fn emit_step_event(r: &StepReport) {
         .u64("mac_evals", r.events.walk.mac_evals)
         .u64("tree_nodes", r.events.calc.nodes);
     telemetry::sink::emit(&o);
+}
+
+/// A cancellable run that stopped early: the cancellation cause plus
+/// every step report completed before the stop.
+#[derive(Clone, Debug)]
+pub struct CancelledRun {
+    pub cancelled: Cancelled,
+    pub completed: Vec<StepReport>,
 }
 
 /// Outcome of one block step.
@@ -446,6 +455,31 @@ impl Gothic {
         (0..n_steps).map(|_| self.step()).collect()
     }
 
+    /// Run up to `n_steps` block steps under a cancellation token.
+    ///
+    /// The token is checked at every block-step boundary (before each
+    /// step) — the pipeline's cooperative preemption points. On
+    /// cancellation the already-completed step reports come back with
+    /// the reason, so a serving layer can report partial progress; the
+    /// simulation state itself stays valid and can be resumed.
+    pub fn run_cancellable(
+        &mut self,
+        n_steps: u64,
+        token: &CancelToken,
+    ) -> Result<Vec<StepReport>, CancelledRun> {
+        let mut reports = Vec::new();
+        for _ in 0..n_steps {
+            if let Err(cancelled) = token.check() {
+                return Err(CancelledRun {
+                    cancelled,
+                    completed: reports,
+                });
+            }
+            reports.push(self.step());
+        }
+        Ok(reports)
+    }
+
     /// Conservation diagnostics at the current state. Forces must be
     /// fresh for the potential to be meaningful; this is the case right
     /// after construction and after any step for the active subset (the
@@ -573,5 +607,56 @@ mod tests {
     fn morton_order_is_maintained_for_ids() {
         let (sim, _) = small_run(2.0f32.powi(-9), 2048, 5);
         sim.ps.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn run_cancellable_with_idle_token_matches_run() {
+        let ps = plummer_model(1024, 100.0, 1.0, 9);
+        let cfg = RunConfig {
+            dt_max: 1.0 / 64.0,
+            ..RunConfig::default()
+        };
+        let mut sim = Gothic::new(ps, cfg);
+        let reports = sim
+            .run_cancellable(6, &crate::cancel::CancelToken::new())
+            .expect("idle token never cancels");
+        assert_eq!(reports.len(), 6);
+        assert_eq!(sim.step_count, 6);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_step() {
+        let ps = plummer_model(1024, 100.0, 1.0, 9);
+        let mut sim = Gothic::new(ps, RunConfig::default());
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let err = sim.run_cancellable(8, &token).unwrap_err();
+        assert_eq!(err.cancelled.reason, crate::cancel::CancelReason::Requested);
+        assert!(err.completed.is_empty());
+        assert_eq!(sim.step_count, 0, "no step may run after cancellation");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_run_with_partial_reports() {
+        let ps = plummer_model(1024, 100.0, 1.0, 11);
+        let cfg = RunConfig {
+            dt_max: 1.0 / 64.0,
+            ..RunConfig::default()
+        };
+        let mut sim = Gothic::new(ps, cfg);
+        // Generous budget for a couple of steps, far too small for 10⁶:
+        // the deadline check at some step boundary must fire, and the
+        // completed prefix comes back.
+        let token = crate::cancel::CancelToken::with_deadline(std::time::Duration::from_millis(50));
+        let err = sim.run_cancellable(1_000_000, &token).unwrap_err();
+        assert_eq!(
+            err.cancelled.reason,
+            crate::cancel::CancelReason::DeadlineExceeded
+        );
+        assert!((err.completed.len() as u64) < 1_000_000);
+        assert_eq!(sim.step_count, err.completed.len() as u64);
+        // The simulation state is still valid and resumable.
+        sim.step();
+        sim.blocks.check_invariants().unwrap();
     }
 }

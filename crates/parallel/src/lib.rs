@@ -40,7 +40,10 @@ use std::sync::OnceLock;
 
 use telemetry::metrics::counters as ctr;
 
+pub mod pool;
 mod slots;
+
+pub use pool::{Bounded, Job, PushError, Submitter, WorkerPool};
 use slots::SlotWriter;
 
 /// Fixed chunk width for the element-wise helpers ([`par_map`],

@@ -1,0 +1,127 @@
+//! Content-addressed LRU result cache.
+//!
+//! Keys are [`SimJob::digest`](crate::protocol::SimJob::digest) values —
+//! a config canonicalization means two textually different requests for
+//! the same work share one entry. Values are the rendered result
+//! payloads (the JSON fragment inside the response), so a hit costs a
+//! lookup and a string clone, never a pipeline step.
+//!
+//! The implementation is a plain vector ordered by recency: `get` moves
+//! the hit to the front, `insert` evicts from the back. O(cap) per
+//! operation, which is the right trade for the tens-of-entries caches a
+//! daemon config asks for — no hashing infrastructure, no unsafe, and
+//! eviction order is trivially auditable.
+
+/// LRU map from job digest to rendered result payload.
+pub struct ResultCache {
+    cap: usize,
+    /// Most recently used first.
+    entries: Vec<(u64, String)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` results; `cap = 0` disables caching
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(cap: usize) -> Self {
+        ResultCache {
+            cap,
+            entries: Vec::with_capacity(cap.min(64)),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a digest, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                let e = self.entries.remove(i);
+                let payload = e.1.clone();
+                self.entries.insert(0, e);
+                self.hits += 1;
+                Some(payload)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a result, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: u64, payload: String) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.insert(0, (key, payload));
+        self.entries.truncate(self.cap);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_hits_and_refreshes_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "one".into());
+        c.insert(2, "two".into());
+        assert_eq!(c.get(1).as_deref(), Some("one")); // 1 is now MRU
+        c.insert(3, "three".into()); // evicts 2, the LRU
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(3).as_deref(), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_growing() {
+        let mut c = ResultCache::new(4);
+        c.insert(7, "old".into());
+        c.insert(7, "new".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(7).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, "x".into());
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "x".into());
+        c.get(1);
+        c.get(1);
+        assert_eq!(c.stats(), (2, 1));
+    }
+}

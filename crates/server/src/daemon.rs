@@ -1,0 +1,489 @@
+//! The daemon core: accept loop, connection handling, job dispatch,
+//! caching, backpressure, and graceful drain.
+//!
+//! ## Life of a request
+//!
+//! 1. A connection thread reads one NDJSON line and opens a
+//!    `serve.request` span.
+//! 2. Cheap requests (`status`, `predict`, `shutdown`) are answered
+//!    inline. Heavy ones (`simulate`, `racecheck`) are submitted to the
+//!    bounded [`WorkerPool`]; a full queue is answered `busy`
+//!    **immediately** — the queue never buffers beyond its capacity, so
+//!    saturation is visible to clients instead of becoming latency.
+//! 3. `simulate` checks the content-addressed [`ResultCache`] first: a
+//!    hit skips the pipeline entirely and answers `"cached":true`.
+//! 4. A per-request deadline becomes a [`CancelToken`] the pipeline
+//!    checks at step boundaries; an expired budget answers
+//!    `deadline_exceeded` with the number of steps that did finish.
+//!
+//! ## Drain
+//!
+//! [`Server::drain`] stops the accept loop, closes the job queue (every
+//! *accepted* job still runs), waits for the workers, then joins the
+//! connection threads — no accepted work is dropped, no new work is
+//! admitted, and the telemetry counters are flushed to the trace sink if
+//! one is active.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gothic::telemetry::json::JsonObject;
+use gothic::telemetry::metrics::counters as ctr;
+use gothic::{telemetry, CancelToken};
+use parallel::{PushError, Submitter, WorkerPool};
+
+use crate::cache::ResultCache;
+use crate::jobs::{self, JobError};
+use crate::protocol::{parse_request, Request, SimJob};
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing heavy jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity — the backpressure knob.
+    pub queue_cap: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Default `simulate` budget in ms when the request names none
+    /// (0 = unlimited).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 8,
+            cache_cap: 64,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// Request-outcome tallies, independent of the telemetry registry (which
+/// only accumulates when metrics are enabled) so `status` is always
+/// truthful.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub accepted: AtomicU64,
+    pub rejected_busy: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub completed: AtomicU64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> [(&'static str, u64); 5] {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        [
+            ("accepted", g(&self.accepted)),
+            ("rejected_busy", g(&self.rejected_busy)),
+            ("cache_hits", g(&self.cache_hits)),
+            ("deadline_exceeded", g(&self.deadline_exceeded)),
+            ("completed", g(&self.completed)),
+        ]
+    }
+}
+
+/// Shared state every connection thread sees.
+struct Shared {
+    stats: ServerStats,
+    cache: Mutex<ResultCache>,
+    draining: AtomicBool,
+    default_deadline_ms: u64,
+    workers: usize,
+}
+
+/// What [`Server::drain`] accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainSummary {
+    /// Jobs that were still queued when the drain began (all ran).
+    pub backlog_drained: usize,
+    /// Connection threads joined.
+    pub connections_joined: usize,
+}
+
+/// A running gothicd instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    accept_handle: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, return a handle.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            stats: ServerStats::default(),
+            cache: Mutex::new(ResultCache::new(cfg.cache_cap)),
+            draining: AtomicBool::new(false),
+            default_deadline_ms: cfg.default_deadline_ms,
+            workers: cfg.workers,
+        });
+        let pool = WorkerPool::new(cfg.workers, cfg.queue_cap);
+        let submitter = pool.submitter();
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_handle = std::thread::Builder::new()
+            .name("gothicd-accept".into())
+            .spawn(move || {
+                accept_loop(listener, accept_shared, submitter, accept_conns);
+            })
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            addr,
+            shared,
+            pool,
+            accept_handle,
+            conns,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop accepting work (idempotent). The drain
+    /// itself happens in [`Server::drain`].
+    pub fn request_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a shutdown was requested (by signal, by a `shutdown`
+    /// request, or by [`Server::request_shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Lifetime request tallies.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Graceful shutdown: stop accepting connections, run every accepted
+    /// job to completion, join all threads, flush counters to the trace
+    /// sink if one is active.
+    pub fn drain(self) -> DrainSummary {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = self.accept_handle.join();
+        let backlog = self.pool.drain();
+        let handles: Vec<_> = {
+            let mut g = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            g.drain(..).collect()
+        };
+        let n = handles.len();
+        for h in handles {
+            let _ = h.join();
+        }
+        if telemetry::sink::trace_active() {
+            telemetry::sink::emit_counters();
+        }
+        DrainSummary {
+            backlog_drained: backlog,
+            connections_joined: n,
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    submitter: Submitter,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return; // drops the listener: connect now refused
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let s = Arc::clone(&shared);
+                let sub = submitter.clone();
+                let handle = std::thread::Builder::new()
+                    .name("gothicd-conn".into())
+                    .spawn(move || handle_conn(stream, s, sub))
+                    .expect("spawn connection thread");
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Read NDJSON lines off one connection until the peer closes or the
+/// server drains. A 50 ms read timeout keeps the thread responsive to
+/// the drain flag without busy-waiting.
+fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>, submitter: Submitter) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = serve_request(line.trim(), &shared, &submitter);
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+        // Refuse pathological line lengths (a line is one request).
+        if buf.len() > 1 << 20 {
+            let _ = write_line(
+                &mut stream,
+                &error_response(None, "bad_request: line exceeds 1 MiB"),
+            );
+            return;
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn base_response(id: &Option<String>, request: &str, ok: bool) -> JsonObject {
+    let mut o = JsonObject::new();
+    if let Some(id) = id {
+        o.str("id", id);
+    }
+    o.str("request", request).bool("ok", ok);
+    o
+}
+
+fn error_response(id: Option<&str>, error: &str) -> String {
+    let mut o = JsonObject::new();
+    if let Some(id) = id {
+        o.str("id", id);
+    }
+    o.bool("ok", false).str("error", error);
+    o.finish()
+}
+
+/// Dispatch one parsed line to its handler; always returns a response
+/// line. Every request (well-formed or not) is wrapped in a
+/// `serve.request` span.
+fn serve_request(line: &str, shared: &Shared, submitter: &Submitter) -> String {
+    let _span = telemetry::span("serve.request");
+    let (id, req) = match parse_request(line) {
+        Ok(p) => p,
+        Err(e) => return error_response(None, &format!("bad_request: {e}")),
+    };
+    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    ctr::SERVER_ACCEPTED.add(1);
+    match req {
+        Request::Status => {
+            let mut o = base_response(&id, "status", true);
+            o.bool("draining", shared.draining.load(Ordering::SeqCst))
+                .u64("workers", shared.workers as u64)
+                .u64("queue_len", submitter.queue_len() as u64)
+                .u64("queue_cap", submitter.queue_capacity() as u64);
+            {
+                let cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+                o.u64("cache_len", cache.len() as u64)
+                    .u64("cache_cap", cache.capacity() as u64);
+            }
+            for (k, v) in shared.stats.snapshot() {
+                o.u64(k, v);
+            }
+            complete(shared);
+            o.finish()
+        }
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let mut o = base_response(&id, "shutdown", true);
+            o.bool("draining", true);
+            complete(shared);
+            o.finish()
+        }
+        Request::Predict(job) => {
+            let payload = jobs::run_predict(&job);
+            let mut o = base_response(&id, "predict", true);
+            o.raw("result", &payload);
+            complete(shared);
+            o.finish()
+        }
+        Request::Racecheck { volta } => {
+            run_on_pool(submitter, shared, &id, "racecheck", move |_token| {
+                Ok(jobs::run_racecheck(volta))
+            })
+        }
+        Request::Simulate(job) => serve_simulate(shared, submitter, &id, job),
+    }
+}
+
+fn complete(shared: &Shared) {
+    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+    ctr::SERVER_COMPLETED.add(1);
+}
+
+/// Submit a closure to the worker pool and wait for its result; a full
+/// queue is an immediate `busy`, a draining pool an immediate `draining`.
+fn run_on_pool<F>(
+    submitter: &Submitter,
+    shared: &Shared,
+    id: &Option<String>,
+    request: &str,
+    work: F,
+) -> String
+where
+    F: FnOnce(&CancelToken) -> Result<String, JobError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Result<String, JobError>>();
+    let token = CancelToken::new();
+    let job_token = token.clone();
+    let submitted = submitter.try_submit(Box::new(move || {
+        let _ = tx.send(work(&job_token));
+    }));
+    match submitted {
+        Err(PushError::Full(_)) => {
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            ctr::SERVER_REJECTED_BUSY.add(1);
+            error_response(id.as_deref(), "busy")
+        }
+        Err(PushError::Closed(_)) => error_response(id.as_deref(), "draining"),
+        Ok(()) => match rx.recv() {
+            Ok(Ok(payload)) => {
+                let mut o = base_response(id, request, true);
+                o.raw("result", &payload);
+                complete(shared);
+                o.finish()
+            }
+            Ok(Err(e)) => job_error_response(shared, id, e),
+            Err(_) => error_response(id.as_deref(), "internal: worker dropped the job"),
+        },
+    }
+}
+
+fn job_error_response(shared: &Shared, id: &Option<String>, e: JobError) -> String {
+    match e {
+        JobError::DeadlineExceeded { steps_done } => {
+            shared
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            ctr::SERVER_DEADLINE_EXCEEDED.add(1);
+            let mut o = JsonObject::new();
+            if let Some(id) = id {
+                o.str("id", id);
+            }
+            o.bool("ok", false)
+                .str("error", "deadline_exceeded")
+                .u64("steps_done", steps_done);
+            o.finish()
+        }
+        JobError::Cancelled { steps_done } => {
+            let mut o = JsonObject::new();
+            if let Some(id) = id {
+                o.str("id", id);
+            }
+            o.bool("ok", false)
+                .str("error", "cancelled")
+                .u64("steps_done", steps_done);
+            o.finish()
+        }
+    }
+}
+
+fn serve_simulate(
+    shared: &Shared,
+    submitter: &Submitter,
+    id: &Option<String>,
+    job: SimJob,
+) -> String {
+    let digest = job.digest();
+    if job.cache {
+        let hit = {
+            let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get(digest)
+        };
+        if let Some(payload) = hit {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            ctr::SERVER_CACHE_HITS.add(1);
+            let mut o = base_response(id, "simulate", true);
+            o.bool("cached", true).raw("result", &payload);
+            complete(shared);
+            return o.finish();
+        }
+    }
+
+    let deadline_ms = job.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let (tx, rx) = mpsc::channel::<Result<String, JobError>>();
+    let run_job = job.clone();
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
+    };
+    let job_token = token.clone();
+    let submitted = submitter.try_submit(Box::new(move || {
+        let _span = telemetry::span("serve.simulate");
+        let _ = tx.send(jobs::run_simulate(&run_job, &job_token));
+    }));
+    match submitted {
+        Err(PushError::Full(_)) => {
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            ctr::SERVER_REJECTED_BUSY.add(1);
+            error_response(id.as_deref(), "busy")
+        }
+        Err(PushError::Closed(_)) => error_response(id.as_deref(), "draining"),
+        Ok(()) => match rx.recv() {
+            Ok(Ok(payload)) => {
+                if job.cache {
+                    shared
+                        .cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(digest, payload.clone());
+                }
+                let mut o = base_response(id, "simulate", true);
+                o.bool("cached", false).raw("result", &payload);
+                complete(shared);
+                o.finish()
+            }
+            Ok(Err(e)) => job_error_response(shared, id, e),
+            Err(_) => error_response(id.as_deref(), "internal: worker dropped the job"),
+        },
+    }
+}

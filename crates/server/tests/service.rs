@@ -1,0 +1,281 @@
+//! End-to-end service tests: boot a real `Server` on an ephemeral port
+//! and exercise the contract over an actual TCP socket — caching,
+//! backpressure, deadlines, graceful drain, and telemetry.
+//!
+//! The tests share process-global telemetry state (sink, counters), so
+//! every test serializes on one mutex.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use gothic::telemetry::{self, json};
+use server::{Server, ServerConfig};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// One NDJSON client connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to gothicd");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> json::Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> json::Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        cache_cap,
+        default_deadline_ms: 0,
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn repeated_config_hits_the_cache() {
+    let _g = serial();
+    let srv = start(2, 8, 16);
+    let mut c = Client::connect(srv.addr());
+
+    let req = r#"{"id":"a","type":"simulate","model":"plummer","n":1024,"steps":3,"seed":11}"#;
+    let first = c.roundtrip(req);
+    assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+    assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+
+    // Same content, different spelling: key order shuffled, float
+    // defaults explicit. Must be a hit.
+    let respelled =
+        r#"{"steps":3,"seed":11,"model":"plummer","n":1024,"type":"simulate","id":"b","eta":5e-1}"#;
+    let second = c.roundtrip(respelled);
+    assert_eq!(second.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        second.get("cached").unwrap().as_bool(),
+        Some(true),
+        "respelled identical request must hit: {second:?}"
+    );
+    assert_eq!(second.get("id").unwrap().as_str(), Some("b"));
+    assert_eq!(
+        first.get("result").unwrap().get("e_final").unwrap(),
+        second.get("result").unwrap().get("e_final").unwrap(),
+        "cached result must be the original result"
+    );
+
+    // cache:false opts out: a fresh run even though the entry exists.
+    let uncached = c.roundtrip(
+        r#"{"type":"simulate","model":"plummer","n":1024,"steps":3,"seed":11,"cache":false}"#,
+    );
+    assert_eq!(uncached.get("cached").unwrap().as_bool(), Some(false));
+
+    let status = c.roundtrip(r#"{"type":"status"}"#);
+    assert_eq!(status.get("cache_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(status.get("cache_len").unwrap().as_u64(), Some(1));
+    srv.drain();
+}
+
+#[test]
+fn saturated_queue_answers_busy_immediately() {
+    let _g = serial();
+    // One worker, queue of one: the first job occupies the worker, the
+    // second fills the queue, the third must bounce.
+    let srv = start(1, 1, 0);
+    let addr = srv.addr();
+
+    let slow = |seed: u64| {
+        format!(
+            r#"{{"type":"simulate","model":"plummer","n":8192,"steps":40,"seed":{seed},"cache":false}}"#
+        )
+    };
+    let mut c1 = Client::connect(addr);
+    let mut c2 = Client::connect(addr);
+    let mut c3 = Client::connect(addr);
+
+    c1.send(&slow(1));
+    // Wait until the worker has *taken* job 1 (queue drains to 0).
+    let t0 = std::time::Instant::now();
+    while srv
+        .stats()
+        .accepted
+        .load(std::sync::atomic::Ordering::Relaxed)
+        < 1
+        && t0.elapsed() < Duration::from_secs(10)
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    c2.send(&slow(2));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t_busy = std::time::Instant::now();
+    let refused = c3.roundtrip(&slow(3));
+    let busy_latency = t_busy.elapsed();
+    assert_eq!(refused.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        refused.get("error").unwrap().as_str(),
+        Some("busy"),
+        "third job must be rejected: {refused:?}"
+    );
+    assert!(
+        busy_latency < Duration::from_secs(2),
+        "busy must be immediate, took {busy_latency:?}"
+    );
+
+    // The accepted jobs still complete.
+    assert_eq!(c1.recv().get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(c2.recv().get("ok").unwrap().as_bool(), Some(true));
+
+    let mut c4 = Client::connect(addr);
+    let status = c4.roundtrip(r#"{"type":"status"}"#);
+    assert_eq!(status.get("rejected_busy").unwrap().as_u64(), Some(1));
+    srv.drain();
+}
+
+#[test]
+fn tiny_deadline_is_exceeded_with_step_accounting() {
+    let _g = serial();
+    let srv = start(1, 4, 0);
+    let mut c = Client::connect(srv.addr());
+    let resp = c.roundtrip(
+        r#"{"type":"simulate","model":"plummer","n":4096,"steps":64,"deadline_ms":1,"cache":false}"#,
+    );
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        resp.get("error").unwrap().as_str(),
+        Some("deadline_exceeded")
+    );
+    let done = resp.get("steps_done").unwrap().as_u64().unwrap();
+    assert!(done < 64, "the budget cannot cover all 64 steps");
+
+    let status = c.roundtrip(r#"{"type":"status"}"#);
+    assert_eq!(status.get("deadline_exceeded").unwrap().as_u64(), Some(1));
+    srv.drain();
+}
+
+#[test]
+fn shutdown_request_drains_gracefully() {
+    let _g = serial();
+    let srv = start(1, 4, 0);
+    let addr = srv.addr();
+
+    // A slow job in flight…
+    let mut worker_conn = Client::connect(addr);
+    worker_conn.send(r#"{"type":"simulate","model":"plummer","n":8192,"steps":30,"cache":false}"#);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // …then a shutdown from a second client.
+    let mut admin = Client::connect(addr);
+    let ack = admin.roundtrip(r#"{"type":"shutdown"}"#);
+    assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(ack.get("draining").unwrap().as_bool(), Some(true));
+    assert!(srv.is_draining());
+
+    // The in-flight job completes during the drain — accepted work is
+    // never dropped.
+    let result = worker_conn.recv();
+    assert_eq!(
+        result.get("ok").unwrap().as_bool(),
+        Some(true),
+        "in-flight job must finish: {result:?}"
+    );
+    let summary = srv.drain();
+    assert_eq!(summary.connections_joined, 2);
+
+    // And the port no longer accepts connections.
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(
+        refused.is_err(),
+        "drained server must refuse new connections"
+    );
+}
+
+#[test]
+fn requests_appear_as_spans_and_counters_in_the_trace() {
+    let _g = serial();
+    let _t = telemetry::sink::test_lock();
+    telemetry::metrics::reset_all();
+    telemetry::sink::init_trace_memory();
+
+    let srv = start(1, 4, 16);
+    let mut c = Client::connect(srv.addr());
+    let sim = r#"{"type":"simulate","model":"plummer","n":1024,"steps":2,"seed":3}"#;
+    assert_eq!(
+        c.roundtrip(sim).get("cached").unwrap().as_bool(),
+        Some(false)
+    );
+    assert_eq!(
+        c.roundtrip(sim).get("cached").unwrap().as_bool(),
+        Some(true)
+    );
+    c.roundtrip(r#"{"type":"status"}"#);
+    srv.drain(); // emits the counter snapshot into the trace
+
+    let lines = telemetry::sink::drain_memory();
+    telemetry::sink::shutdown();
+    let docs: Vec<json::Value> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+
+    let serve_spans = docs
+        .iter()
+        .filter(|d| {
+            d.get("type").and_then(|t| t.as_str()) == Some("span")
+                && d.get("name").and_then(|n| n.as_str()) == Some("serve.request")
+        })
+        .count();
+    assert_eq!(serve_spans, 3, "one serve.request span per request");
+
+    // The cached request must NOT have run the pipeline: exactly one
+    // serve.simulate span despite two simulate requests.
+    let sim_spans = docs
+        .iter()
+        .filter(|d| {
+            d.get("type").and_then(|t| t.as_str()) == Some("span")
+                && d.get("name").and_then(|n| n.as_str()) == Some("serve.simulate")
+        })
+        .count();
+    assert_eq!(sim_spans, 1, "a cache hit must skip the pipeline");
+
+    let counters = docs
+        .iter()
+        .find(|d| d.get("type").and_then(|t| t.as_str()) == Some("counters"))
+        .expect("drain must flush a counter snapshot")
+        .get("counters")
+        .expect("counters line nests the registry snapshot");
+    let get = |k: &str| counters.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(get("server.accepted"), 3);
+    assert_eq!(get("server.cache_hits"), 1);
+    assert_eq!(get("server.completed"), 3);
+    assert_eq!(get("server.rejected_busy"), 0);
+}

@@ -203,13 +203,22 @@ impl Value {
     }
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses
+/// once per `{`/`[` level, so without a bound a hostile document of a
+/// few hundred kilobytes of `[` would overflow the stack of whatever
+/// thread called [`parse`] — in a daemon, a remote crash. Deeper input
+/// returns an error instead. Our own trace lines nest three levels.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
 /// Parse one JSON document. Strict on structure, permissive on nothing —
 /// trailing garbage is an error, so a JSON-lines line must be exactly
-/// one value.
+/// one value. Containers nested deeper than [`MAX_PARSE_DEPTH`] are
+/// rejected (an error, never a stack overflow).
 pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser {
         b: input.as_bytes(),
         i: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -223,6 +232,7 @@ pub fn parse(input: &str) -> Result<Value, String> {
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -267,12 +277,25 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at offset {}",
+                self.i
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut m = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(m));
         }
         loop {
@@ -288,6 +311,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(m));
                 }
                 _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
@@ -297,10 +321,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut a = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(a));
         }
         loop {
@@ -311,6 +337,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(a));
                 }
                 _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
@@ -330,32 +357,70 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.i += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
+                    let c = match self.peek() {
+                        Some(b'"') => {
+                            self.i += 1;
+                            '"'
+                        }
+                        Some(b'\\') => {
+                            self.i += 1;
+                            '\\'
+                        }
+                        Some(b'/') => {
+                            self.i += 1;
+                            '/'
+                        }
+                        Some(b'n') => {
+                            self.i += 1;
+                            '\n'
+                        }
+                        Some(b'r') => {
+                            self.i += 1;
+                            '\r'
+                        }
+                        Some(b't') => {
+                            self.i += 1;
+                            '\t'
+                        }
+                        Some(b'b') => {
+                            self.i += 1;
+                            '\u{8}'
+                        }
+                        Some(b'f') => {
+                            self.i += 1;
+                            '\u{c}'
+                        }
                         Some(b'u') => {
-                            if self.i + 5 > self.b.len() {
-                                return Err("bad \\u escape".into());
+                            let cp = self.hex4()?;
+                            match cp {
+                                // High surrogate: a low surrogate escape
+                                // must follow; combine per RFC 8259 §7.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    self.i += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| "bad surrogate pair".to_string())?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err("unpaired low surrogate".into());
+                                }
+                                _ => char::from_u32(cp)
+                                    .ok_or_else(|| "bad \\u escape".to_string())?,
                             }
-                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
-                                .map_err(|_| "bad \\u escape")?;
-                            let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            // Surrogate pairs are not needed for our own
-                            // output; reject them rather than mis-decode.
-                            let c = char::from_u32(cp)
-                                .ok_or_else(|| "surrogate in \\u escape".to_string())?;
-                            s.push(c);
-                            self.i += 4;
                         }
                         _ => return Err(format!("bad escape at offset {}", self.i)),
-                    }
-                    self.i += 1;
+                    };
+                    s.push(c);
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is &str, so this
@@ -368,6 +433,20 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Consume `u` plus four hex digits (the tail of a `\uXXXX` escape;
+    /// the caller has already consumed the backslash and seen the `u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        debug_assert_eq!(self.peek(), Some(b'u'));
+        if self.i + 5 > self.b.len() {
+            return Err("bad \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.i += 5;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -456,5 +535,37 @@ mod tests {
         o.str("s", "αβ\u{1}");
         let v = parse(&o.finish()).unwrap();
         assert_eq!(v.get("s").unwrap().as_str(), Some("αβ\u{1}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_rejected() {
+        // \uD83D\uDE00 is the surrogate-pair encoding of U+1F600 (😀).
+        let v = parse(r#"{"s":"\uD83D\uDE00!"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("\u{1F600}!"));
+        // Raw (non-escaped) astral characters pass through unchanged.
+        let raw = parse("{\"s\":\"\u{1F600}\"}").unwrap();
+        assert_eq!(raw.get("s").unwrap().as_str(), Some("\u{1F600}"));
+        assert!(parse(r#""\uD83D""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\uDE00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\uD83Dx""#).is_err(), "high surrogate + literal");
+        assert!(parse(r#""\uD83D\n""#).is_err(), "high surrogate + escape");
+        assert!(parse(r#""\uD83D\uD83D""#).is_err(), "two high surrogates");
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // One level inside the limit parses; one past it errors.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(parse(&ok).is_ok());
+        let deep = format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Mixed object/array nesting counts levels the same way.
+        let mixed = "[{\"k\":".repeat(60_000) + "1" + &"}]".repeat(60_000);
+        assert!(parse(&mixed).unwrap_err().contains("nesting"));
     }
 }

@@ -150,6 +150,12 @@ pub mod counters {
         POOL_JOBS => "pool.jobs",
         POOL_CHUNKS => "pool.chunks",
         POOL_STEALS => "pool.steals",
+        // Simulation job service (server / gothicd).
+        SERVER_ACCEPTED => "server.accepted",
+        SERVER_REJECTED_BUSY => "server.rejected_busy",
+        SERVER_CACHE_HITS => "server.cache_hits",
+        SERVER_DEADLINE_EXCEEDED => "server.deadline_exceeded",
+        SERVER_COMPLETED => "server.completed",
     }
 }
 

@@ -1,0 +1,102 @@
+//! Robustness of the hand-rolled JSON layer under hostile or unusual
+//! input — the properties a network-facing daemon (`gothicd`) depends
+//! on: arbitrary strings round-trip through writer → parser, escaped
+//! surrogate pairs decode, and attacker-controlled nesting depth is an
+//! error rather than a stack overflow.
+
+use telemetry::json::{self, JsonObject, Value, MAX_PARSE_DEPTH};
+
+/// A random scalar value (char) drawn from the regions that exercise
+/// every escape path: ASCII control characters, the escape metachars,
+/// plain ASCII, BMP text, and astral-plane characters (which JSON
+/// encodes as surrogate pairs when escaped).
+fn arbitrary_char(g: &mut testkit::Gen) -> char {
+    match g.u64_in(0..5) {
+        0 => char::from_u32(g.u64_in(0..0x20) as u32).unwrap(),
+        1 => *['"', '\\', '/', '\u{7f}'].get(g.usize_in(0..4)).unwrap(),
+        2 => char::from_u32(g.u64_in(0x20..0x7f) as u32).unwrap(),
+        3 => {
+            // BMP, skipping the surrogate block D800–DFFF.
+            let cp = g.u64_in(0x80..0xD800) as u32;
+            char::from_u32(cp).unwrap()
+        }
+        _ => char::from_u32(g.u64_in(0x10000..0x10FFFF) as u32).unwrap_or('\u{10000}'),
+    }
+}
+
+#[test]
+fn property_arbitrary_strings_roundtrip_writer_to_parser() {
+    testkit::check("json_string_roundtrip", 256, |g| {
+        let s: String = (0..g.usize_in(0..64)).map(|_| arbitrary_char(g)).collect();
+        let mut o = JsonObject::new();
+        o.str("k", &s).str(&s, "v");
+        let doc = o.finish();
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("emitted line must parse: {e}\n{doc}"));
+        assert_eq!(v.get("k").unwrap().as_str(), Some(s.as_str()));
+        assert_eq!(v.get(&s).unwrap().as_str(), Some("v"), "keys escape too");
+    });
+}
+
+#[test]
+fn property_escaped_surrogate_pairs_decode_to_astral_chars() {
+    testkit::check("json_surrogate_pairs", 128, |g| {
+        let cp = g.u64_in(0x10000..0x110000) as u32;
+        let Some(c) = char::from_u32(cp) else { return };
+        let v = cp - 0x10000;
+        let (hi, lo) = (0xD800 + (v >> 10), 0xDC00 + (v & 0x3FF));
+        let doc = format!("{{\"s\":\"\\u{hi:04X}\\u{lo:04X}\"}}");
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("s").unwrap().as_str(),
+            Some(c.to_string().as_str())
+        );
+    });
+}
+
+#[test]
+fn property_lone_surrogate_escapes_are_rejected() {
+    testkit::check("json_lone_surrogates", 64, |g| {
+        let cp = g.u64_in(0xD800..0xE000) as u32;
+        let doc = format!("\"\\u{cp:04X}\"");
+        assert!(
+            json::parse(&doc).is_err(),
+            "lone surrogate {cp:#x} must not parse"
+        );
+    });
+}
+
+#[test]
+fn property_nesting_at_or_below_limit_parses_above_errors() {
+    testkit::check("json_nesting_depth", 32, |g| {
+        let depth = g.usize_in(1..2 * MAX_PARSE_DEPTH);
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        let r = json::parse(&doc);
+        if depth <= MAX_PARSE_DEPTH {
+            assert!(r.is_ok(), "depth {depth} must parse");
+        } else {
+            assert!(r.is_err(), "depth {depth} must be rejected");
+        }
+    });
+}
+
+#[test]
+fn hostile_megabyte_of_brackets_errors_quickly() {
+    // A daemon reading this line must answer with an error, not crash:
+    // the recursion bound trips after MAX_PARSE_DEPTH levels no matter
+    // how long the input is.
+    for open in ["[", "{\"a\":"] {
+        let doc = open.repeat(500_000);
+        let err = json::parse(&doc).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+    }
+}
+
+#[test]
+fn deep_but_wide_documents_are_fine() {
+    // The limit is on depth, not size: a wide flat array of a few
+    // thousand elements parses.
+    let doc = format!("[{}]", vec!["1"; 10_000].join(","));
+    let v = json::parse(&doc).unwrap();
+    assert_eq!(v.as_arr().unwrap().len(), 10_000);
+    assert_eq!(v.as_arr().unwrap()[0], Value::Num(1.0));
+}

@@ -1,0 +1,111 @@
+//! CLI-level tests for the `gothic_sim` binary: malformed flags must
+//! produce a clear error on stderr and a nonzero exit, never a panic.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gothic_sim"))
+        .args(args)
+        .output()
+        .expect("spawn gothic_sim")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The binary rejected the input itself: exit code 2 (usage error), a
+/// `gothic_sim:` prefixed message, and no panic backtrace.
+fn assert_usage_error(args: &[&str], expect_in_stderr: &str) {
+    let out = run(args);
+    let err = stderr(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?}: expected exit 2, got {:?}\nstderr: {err}",
+        out.status.code()
+    );
+    assert!(
+        err.contains("gothic_sim:"),
+        "args {args:?}: stderr must identify the program: {err}"
+    );
+    assert!(
+        err.contains(expect_in_stderr),
+        "args {args:?}: stderr must mention {expect_in_stderr:?}: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "args {args:?}: must not panic: {err}"
+    );
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--dacc"));
+}
+
+#[test]
+fn unparseable_numeric_value_is_a_usage_error() {
+    assert_usage_error(&["--n", "abc"], "--n");
+    assert_usage_error(&["--steps", "1.5"], "--steps");
+    assert_usage_error(&["--dacc", "nope"], "--dacc");
+    assert_usage_error(&["--seed", "-1"], "--seed");
+}
+
+#[test]
+fn zero_counts_are_rejected_not_panicked_on() {
+    // --n 0 would trip an assert in Gothic::new; --log-every 0 would be a
+    // divide-by-zero modulus in the report loop. Both must be caught at
+    // the CLI boundary.
+    assert_usage_error(&["--n", "0"], "--n must be at least 1");
+    assert_usage_error(&["--steps", "0"], "--steps must be at least 1");
+    assert_usage_error(&["--log-every", "0"], "--log-every must be at least 1");
+}
+
+#[test]
+fn non_positive_accuracy_parameters_are_rejected() {
+    assert_usage_error(&["--dacc", "-3"], "--dacc must be a finite positive");
+    assert_usage_error(&["--eta", "0"], "--eta must be a finite positive");
+    assert_usage_error(&["--eps", "NaN"], "--eps must be a finite positive");
+    assert_usage_error(&["--eps", "inf"], "--eps must be a finite positive");
+}
+
+#[test]
+fn unknown_flags_and_missing_values_are_usage_errors() {
+    assert_usage_error(&["--frobnicate"], "unknown flag --frobnicate");
+    assert_usage_error(&["--n"], "--n needs a value");
+    assert_usage_error(&["--model", "andromeda-typo"], "unknown model");
+    assert_usage_error(&["--mode", "turing"], "unknown mode");
+    assert_usage_error(&["--arch", "h100"], "unknown arch");
+}
+
+#[test]
+fn restart_from_missing_file_fails_cleanly() {
+    let out = run(&["--restart", "/nonexistent/checkpoint.bin"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot restart"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "stderr: {err}");
+}
+
+#[test]
+fn tiny_valid_run_succeeds() {
+    let out = run(&[
+        "--model",
+        "plummer",
+        "--n",
+        "256",
+        "--steps",
+        "2",
+        "--log-every",
+        "1",
+    ]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("relative energy drift"), "stdout: {text}");
+}
