@@ -139,6 +139,32 @@ fn run_client(addr: &str, id: usize, args: &Args) -> std::io::Result<(ClientTall
     Ok((tally, latencies))
 }
 
+/// Ask the daemon for its Prometheus metrics and pull the server-side
+/// `serve.request` latency quantiles (nanoseconds). The server measures
+/// inside the request handler, so the gap to the client-observed
+/// latency is the wire + framing + accept-queue overhead.
+fn fetch_server_quantiles(addr: &str) -> Option<(u64, u64, u64)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"type\":\"metrics\"}\n").ok()?;
+    writer.flush().ok()?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp).ok()?;
+    let v = json::parse(resp.trim()).ok()?;
+    let text = v.get("metrics")?.as_str()?.to_string();
+    let quantile = |q: &str| -> Option<u64> {
+        let needle = format!("serve_request_ns{{quantile=\"{q}\"}} ");
+        let line = text.lines().find(|l| l.starts_with(&needle))?;
+        line[needle.len()..].trim().parse().ok()
+    };
+    Some((quantile("0.5")?, quantile("0.95")?, quantile("0.99")?))
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -237,6 +263,25 @@ fn main() {
         p99.as_secs_f64() * 1e3
     );
 
+    // Server-vs-client skew: the daemon's own serve.request histogram
+    // (via the metrics request) against what the clients observed. The
+    // server-side quantiles are log₂-bucketed (exact within a factor of
+    // two); the interesting signal is the client-minus-server gap.
+    let server_quantiles = fetch_server_quantiles(&addr);
+    if let Some((s50, s95, s99)) = server_quantiles {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "loadgen: server-side p50 = {:.2} ms, p95 = {:.2} ms, p99 = {:.2} ms \
+             (client-minus-server p50 skew = {:.2} ms)",
+            ms(s50),
+            ms(s95),
+            ms(s99),
+            p50.as_secs_f64() * 1e3 - ms(s50)
+        );
+    } else {
+        eprintln!("loadgen: daemon did not answer the metrics request (old server?)");
+    }
+
     let mut report = RunReport::new("loadgen");
     report
         .meta_str("addr", &addr)
@@ -258,6 +303,15 @@ fn main() {
         .f64("latency_p99_ms", p99.as_secs_f64() * 1e3)
         .f64("rejection_rate", rejection_rate)
         .f64("cache_hit_rate", hit_rate);
+    if let Some((s50, s95, s99)) = server_quantiles {
+        row.f64("server_latency_p50_ms", s50 as f64 / 1e6)
+            .f64("server_latency_p95_ms", s95 as f64 / 1e6)
+            .f64("server_latency_p99_ms", s99 as f64 / 1e6)
+            .f64(
+                "latency_skew_p50_ms",
+                p50.as_secs_f64() * 1e3 - s50 as f64 / 1e6,
+            );
+    }
     report.add_row(row);
     if let Err(e) = report.write() {
         eprintln!("loadgen: cannot write report: {e}");

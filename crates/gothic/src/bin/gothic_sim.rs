@@ -15,8 +15,10 @@
 //!   --restart <path>                  resume from a checkpoint
 //!   --seed <s>                        sampling seed           [42]
 //!   --log-every <k>                   report cadence          [8]
-//!   --trace <path|->                  JSON-lines trace (- = stderr)
+//!   --trace <path|->                  trace sink (- = stderr)
+//!   --trace-format <jsonl|chrome>     trace sink format       [jsonl]
 //!   --metrics                         per-run counter + wall-clock tables
+//!   --profile                         measured-vs-modeled op-count tables
 //!   --racecheck                       happens-before hazard sweep first
 //! ```
 
@@ -45,11 +47,22 @@ OPTIONS:
     --restart <path>                       resume from a checkpoint
     --seed <s>                             sampling seed             [42]
     --log-every <k>                        report cadence            [8]
-    --trace <path|->                       write a JSON-lines trace of spans,
-                                           step records and counter totals to
-                                           <path> ('-' traces to stderr)
+    --trace <path|->                       write a trace of spans, step records
+                                           and counter totals to <path>
+                                           ('-' traces to stderr)
+    --trace-format <jsonl|chrome>          trace sink format [jsonl]: 'jsonl'
+                                           is self-contained JSON-lines;
+                                           'chrome' is a Chrome trace-event
+                                           array (load via chrome://tracing
+                                           or Perfetto). Requires --trace.
     --metrics                              print the measured-vs-modeled
                                            breakdown and counter tables on exit
+    --profile                              run the simt profiler over the five
+                                           Table 2 micro-kernels after the
+                                           simulation and print the measured
+                                           vs modeled operation counts (Fig. 6)
+                                           and the INT/FP32 overlap analysis
+                                           (Fig. 7); implies metrics collection
     --racecheck                            run the interpreter kernels (Table 2
                                            reduction/scan sweep + gravity flush)
                                            under the happens-before race
@@ -76,7 +89,9 @@ struct Args {
     seed: u64,
     log_every: u64,
     trace: Option<String>,
+    trace_format: String,
     metrics: bool,
+    profile: bool,
     racecheck: bool,
 }
 
@@ -95,7 +110,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         log_every: 8,
         trace: None,
+        trace_format: "jsonl".into(),
         metrics: false,
+        profile: false,
         racecheck: false,
     };
     let mut it = std::env::args().skip(1);
@@ -117,7 +134,9 @@ fn parse_args() -> Result<Args, String> {
                 a.log_every = val()?.parse().map_err(|e| format!("--log-every: {e}"))?
             }
             "--trace" => a.trace = Some(val()?),
+            "--trace-format" => a.trace_format = val()?,
             "--metrics" => a.metrics = true,
+            "--profile" => a.profile = true,
             "--racecheck" => a.racecheck = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -154,6 +173,15 @@ fn validate_args(a: &Args) -> Result<(), String> {
     positive("--eps", a.eps)?;
     if !matches!(a.model.as_str(), "m31" | "plummer" | "hernquist") {
         return Err(format!("unknown model {}", a.model));
+    }
+    if !matches!(a.trace_format.as_str(), "jsonl" | "chrome") {
+        return Err(format!(
+            "--trace-format must be 'jsonl' or 'chrome', got {}",
+            a.trace_format
+        ));
+    }
+    if a.trace_format == "chrome" && a.trace.is_none() {
+        return Err("--trace-format requires --trace".into());
     }
     Ok(())
 }
@@ -238,17 +266,24 @@ fn main() {
         }
     };
 
+    let trace_format = match args.trace_format.as_str() {
+        "chrome" => telemetry::sink::TraceFormat::Chrome,
+        _ => telemetry::sink::TraceFormat::JsonLines,
+    };
     match args.trace.as_deref() {
-        Some("-") => telemetry::sink::init_trace_stderr(),
+        Some("-") => telemetry::sink::init_trace_stderr_with(trace_format),
         Some(path) => {
-            if let Err(e) = telemetry::sink::init_trace_file(std::path::Path::new(path)) {
+            if let Err(e) =
+                telemetry::sink::init_trace_file_with(std::path::Path::new(path), trace_format)
+            {
                 eprintln!("gothic_sim: cannot open trace file {path}: {e}");
                 std::process::exit(1);
             }
         }
         None => {
-            if args.metrics {
-                // Counter tables without a trace sink: accumulate only.
+            if args.metrics || args.profile {
+                // Counter/profile tables without a trace sink: accumulate
+                // only.
                 telemetry::set_metrics_enabled(true);
             }
         }
@@ -276,7 +311,14 @@ fn main() {
     };
 
     if args.racecheck && racecheck_preflight(cfg.mode) > 0 {
-        eprintln!("gothic_sim: racecheck found hazards; refusing to simulate");
+        if args.profile {
+            eprintln!(
+                "gothic_sim: racecheck found hazards; refusing to simulate or profile \
+                 (profiling racy kernels would measure undefined interleavings)"
+            );
+        } else {
+            eprintln!("gothic_sim: racecheck found hazards; refusing to simulate");
+        }
         std::process::exit(1);
     }
 
@@ -370,6 +412,18 @@ fn main() {
         "final relative energy drift: {:.3e}",
         e1.relative_energy_drift(&e0)
     );
+
+    if args.profile {
+        let volta = sim.cfg.mode == ExecMode::VoltaMode;
+        let measured = gothic::gpu_model::table2_measurements(volta);
+        println!(
+            "\nsimt profiler ({} mode, {} scheduler):",
+            if volta { "volta" } else { "pascal" },
+            if volta { "independent" } else { "lockstep" },
+        );
+        print!("{}", gothic::gpu_model::measured::render_table(&measured));
+        print!("{}", gothic::gpu_model::measured::render_overlap(&measured));
+    }
 
     if args.metrics {
         let rows: Vec<(&str, f64, f64)> = Function::ALL

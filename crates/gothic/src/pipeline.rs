@@ -298,6 +298,7 @@ impl Gothic {
 
     /// Execute one block step.
     pub fn step(&mut self) -> StepReport {
+        let step_t0 = std::time::Instant::now();
         let step_span = telemetry::span("step");
         let n = self.len();
         let eps2 = self.cfg.eps * self.cfg.eps;
@@ -433,6 +434,7 @@ impl Gothic {
                 .map(|&f| profile.get(f).ops.sync_warp)
                 .sum();
             tm::MODEL_SYNCWARPS.add(syncwarps);
+            telemetry::metrics::histograms::STEP_WALL_NS.record_duration(step_t0.elapsed());
         }
 
         let report = StepReport {

@@ -9,6 +9,8 @@
 //! * [`arch`] — Tesla V100 / P100, GTX TITAN X, K20X, M2090 descriptors,
 //! * [`ops`] — nvprof-style instruction counters (`OpCounts`),
 //! * [`events`] — algorithm events → instruction mixes (Fig. 6 metrics),
+//! * [`measured`] — measured-vs-modeled calibration against the simt
+//!   profiler (the §4 nvprof loop),
 //! * [`timing`] — the roofline timing model with INT/FP overlap and
 //!   Volta-mode `__syncwarp()` costs,
 //! * [`occupancy`] — resident blocks/warps per SM (Appendix A),
@@ -19,6 +21,7 @@
 pub mod arch;
 pub mod capacity;
 pub mod events;
+pub mod measured;
 pub mod occupancy;
 pub mod ops;
 pub mod predict;
@@ -26,6 +29,7 @@ pub mod timing;
 
 pub use arch::{Generation, GpuArch, IntPipe};
 pub use events::{CalcNodeEvents, IntegrateEvents, MakeTreeEvents, WalkEvents};
+pub use measured::{op_counts_from_profile, table2_measurements, MeasuredKernel};
 pub use ops::OpCounts;
 pub use predict::{predict_speedup, SpeedupPrediction};
 pub use timing::{

@@ -123,7 +123,11 @@ pub struct Server {
 
 impl Server {
     /// Bind, spawn the worker pool and the accept loop, return a handle.
+    /// Metrics collection is switched on for the process: a daemon always
+    /// accumulates counters and latency histograms so the `metrics`
+    /// request has something to expose.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        telemetry::set_metrics_enabled(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -303,8 +307,16 @@ fn error_response(id: Option<&str>, error: &str) -> String {
 
 /// Dispatch one parsed line to its handler; always returns a response
 /// line. Every request (well-formed or not) is wrapped in a
-/// `serve.request` span.
+/// `serve.request` span and its latency is recorded in the
+/// `serve.request.ns` histogram (exposed via the `metrics` request).
 fn serve_request(line: &str, shared: &Shared, submitter: &Submitter) -> String {
+    let t0 = std::time::Instant::now();
+    let response = serve_request_inner(line, shared, submitter);
+    telemetry::metrics::histograms::SERVE_REQUEST_NS.record_duration(t0.elapsed());
+    response
+}
+
+fn serve_request_inner(line: &str, shared: &Shared, submitter: &Submitter) -> String {
     let _span = telemetry::span("serve.request");
     let (id, req) = match parse_request(line) {
         Ok(p) => p,
@@ -327,6 +339,12 @@ fn serve_request(line: &str, shared: &Shared, submitter: &Submitter) -> String {
             for (k, v) in shared.stats.snapshot() {
                 o.u64(k, v);
             }
+            complete(shared);
+            o.finish()
+        }
+        Request::Metrics => {
+            let mut o = base_response(&id, "metrics", true);
+            o.str("metrics", &telemetry::metrics::prometheus_text());
             complete(shared);
             o.finish()
         }

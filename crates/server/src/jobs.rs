@@ -47,7 +47,16 @@ fn sample(model: &str, n: usize, seed: u64) -> gothic::nbody::ParticleSet {
 /// The initial-condition sampling and bootstrap force evaluation run
 /// before the first check, so the floor on a cancelled request's cost is
 /// one bootstrap, not zero.
+///
+/// Telemetry counters are reported **per job** by snapshot-and-delta:
+/// the process-wide registry is sampled before and after the run and the
+/// payload carries only the differences. Resetting the registry between
+/// jobs would be wrong twice over — it races with concurrent workers and
+/// silently zeroes the daemon-lifetime totals the `metrics` request
+/// exposes — and reporting raw cumulative values would bleed every
+/// earlier job's work into the next payload.
 pub fn run_simulate(job: &SimJob, token: &CancelToken) -> Result<String, JobError> {
+    let ctr_before = gothic::telemetry::metrics::snapshot();
     let ps = sample(&job.model, job.n, job.seed);
     let mut sim = Gothic::new(ps, job.cfg.clone());
     let e0 = sim.diagnostics();
@@ -94,6 +103,18 @@ pub fn run_simulate(job: &SimJob, token: &CancelToken) -> Result<String, JobErro
         .f64("model_seconds_per_step", total.total_seconds() / steps)
         .raw("breakdown", &breakdown.finish())
         .f64("wall_seconds", wall);
+
+    // Per-job counter deltas (only counters this job actually moved).
+    // Zero when metrics collection is disabled process-wide.
+    let ctr_after = gothic::telemetry::metrics::snapshot();
+    let mut counters = JsonObject::new();
+    for ((name, before), (_, after)) in ctr_before.iter().zip(ctr_after.iter()) {
+        let delta = after.wrapping_sub(*before);
+        if delta > 0 {
+            counters.u64(name, delta);
+        }
+    }
+    o.raw("counters", &counters.finish());
     Ok(o.finish())
 }
 
@@ -223,8 +244,10 @@ mod tests {
     #[test]
     fn identical_jobs_render_identical_payloads() {
         // The cache contract: digest equality implies the *results* are
-        // interchangeable. Everything but the measured wall clock (which
-        // records what this particular run cost) must be bit-identical.
+        // interchangeable. Everything but the measured wall clock and the
+        // per-job counter deltas (which record what this particular run
+        // cost, and can be perturbed by concurrent test activity when
+        // metrics are enabled) must be bit-identical.
         let a = sim_job(r#"{"type":"simulate","n":512,"steps":2,"seed":3}"#);
         let b = sim_job(r#"{"steps":2,"seed":3,"n":512,"type":"simulate"}"#);
         assert_eq!(a.digest(), b.digest());
@@ -232,6 +255,7 @@ mod tests {
             let v = parse(payload).unwrap();
             let mut m = v.as_obj().unwrap().clone();
             assert!(m.remove("wall_seconds").is_some());
+            assert!(m.remove("counters").is_some());
             m
         };
         let pa = run_simulate(&a, &CancelToken::new()).unwrap();

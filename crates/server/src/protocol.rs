@@ -10,6 +10,7 @@
 //! | `predict`   | price a scaled step on the GPU model only       | cheap  |
 //! | `racecheck` | happens-before sweep of the SIMT kernels        | medium |
 //! | `status`    | queue/cache/stats snapshot                      | free   |
+//! | `metrics`   | Prometheus-style counter/histogram exposition   | free   |
 //! | `shutdown`  | begin graceful drain                            | free   |
 //!
 //! Parsing is strict where it matters (unknown types, malformed values
@@ -88,6 +89,9 @@ pub enum Request {
         volta: bool,
     },
     Status,
+    /// Prometheus-style text exposition of every telemetry counter and
+    /// histogram (with p50/p95/p99 summary quantiles).
+    Metrics,
     Shutdown,
 }
 
@@ -202,6 +206,7 @@ pub fn parse_request(line: &str) -> Result<(Option<String>, Request), String> {
     let req =
         match v.get("type").and_then(|t| t.as_str()) {
             Some("status") => Request::Status,
+            Some("metrics") => Request::Metrics,
             Some("shutdown") => Request::Shutdown,
             Some("racecheck") => Request::Racecheck {
                 volta: match get_str(&v, "mode", "volta")? {
@@ -270,6 +275,8 @@ mod tests {
         let (id, req) = parse_request(r#"{"id":"r1","type":"status"}"#).unwrap();
         assert_eq!(id.as_deref(), Some("r1"));
         assert!(matches!(req, Request::Status));
+        let (_, req) = parse_request(r#"{"type":"metrics"}"#).unwrap();
+        assert!(matches!(req, Request::Metrics));
     }
 
     #[test]

@@ -223,6 +223,93 @@ fn shutdown_request_drains_gracefully() {
 }
 
 #[test]
+fn metrics_request_exposes_prometheus_text_with_latency_quantiles() {
+    let _g = serial();
+    let srv = start(1, 4, 16);
+    let mut c = Client::connect(srv.addr());
+
+    // Put some traffic through so the latency histogram has samples.
+    c.roundtrip(r#"{"type":"status"}"#);
+    let sim =
+        c.roundtrip(r#"{"type":"simulate","model":"plummer","n":512,"steps":2,"cache":false}"#);
+    assert_eq!(sim.get("ok").unwrap().as_bool(), Some(true));
+
+    let resp = c.roundtrip(r#"{"id":"m1","type":"metrics"}"#);
+    assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("id").unwrap().as_str(), Some("m1"));
+    let text = resp.get("metrics").unwrap().as_str().unwrap().to_string();
+
+    // Counters appear in Prometheus exposition form, names sanitized.
+    assert!(
+        text.contains("# TYPE server_accepted counter"),
+        "missing counter TYPE line:\n{text}"
+    );
+    // The request-latency histogram appears as a summary with the three
+    // quantiles plus sum and count, and the quantiles are sane.
+    assert!(
+        text.contains("# TYPE serve_request_ns summary"),
+        "missing summary TYPE line:\n{text}"
+    );
+    let quantile = |q: &str| -> u64 {
+        let needle = format!("serve_request_ns{{quantile=\"{q}\"}} ");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&needle))
+            .unwrap_or_else(|| panic!("no {needle} line in:\n{text}"));
+        line[needle.len()..].trim().parse().unwrap()
+    };
+    let (p50, p95, p99) = (quantile("0.5"), quantile("0.95"), quantile("0.99"));
+    assert!(p50 > 0, "p50 must be positive once requests were served");
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("serve_request_ns_count "))
+        .expect("summary must include a _count line");
+    let count: u64 = count_line["serve_request_ns_count ".len()..]
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(count >= 2, "at least the two prior requests are recorded");
+    srv.drain();
+}
+
+#[test]
+fn consecutive_jobs_report_their_own_counter_deltas() {
+    let _g = serial();
+    // Regression test for counter bleed between in-process jobs: with
+    // one worker the two jobs run back to back in the same process, and
+    // each payload must report only the pipeline steps *it* executed —
+    // not the cumulative registry total at completion time.
+    let srv = start(1, 4, 0);
+    let mut c = Client::connect(srv.addr());
+
+    let steps_delta = |resp: &json::Value| {
+        resp.get("result")
+            .unwrap()
+            .get("counters")
+            .expect("payload must carry per-job counter deltas")
+            .get("pipeline.steps")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let first = c.roundtrip(
+        r#"{"type":"simulate","model":"plummer","n":512,"steps":3,"seed":1,"cache":false}"#,
+    );
+    assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+    let second = c.roundtrip(
+        r#"{"type":"simulate","model":"plummer","n":512,"steps":5,"seed":2,"cache":false}"#,
+    );
+    assert_eq!(second.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(steps_delta(&first), 3, "first job counts its own 3 steps");
+    assert_eq!(
+        steps_delta(&second),
+        5,
+        "second job must not inherit the first job's steps"
+    );
+    srv.drain();
+}
+
+#[test]
 fn requests_appear_as_spans_and_counters_in_the_trace() {
     let _g = serial();
     let _t = telemetry::sink::test_lock();

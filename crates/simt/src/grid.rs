@@ -6,6 +6,7 @@
 
 use crate::block::{BlockOutcome, ThreadBlock};
 use crate::ir::Program;
+use crate::prof::{self, KernelProfile, PipeCounts};
 use crate::racecheck::{Racecheck, RacecheckConfig, RacecheckReport};
 use crate::warp::{ExecError, Scheduler, WARP_SIZE};
 
@@ -65,6 +66,52 @@ impl Grid {
         max_steps: u64,
     ) -> Result<GridStats, ExecError> {
         self.run_inner(program, sched, max_steps, None)
+    }
+
+    /// Run to completion with per-pipe profiling enabled on every warp
+    /// (see [`crate::prof`]). Returns the execution statistics and the
+    /// launch's [`KernelProfile`]; the profile is also folded into the
+    /// process-wide registry under `kernel`.
+    pub fn run_profiled(
+        &mut self,
+        program: &Program,
+        sched: Scheduler,
+        max_steps: u64,
+        kernel: &str,
+    ) -> Result<(GridStats, KernelProfile), ExecError> {
+        for b in &mut self.blocks {
+            for w in &mut b.warps {
+                w.enable_prof();
+            }
+        }
+        let stats = self.run_inner(program, sched, max_steps, None)?;
+        let profile = self.collect_profile(kernel);
+        prof::record_launch(&profile);
+        Ok((stats, profile))
+    }
+
+    /// Aggregate this grid's warp-level pipe counts into one launch
+    /// profile. Block/grid barrier completions come from the block and
+    /// grid counters (the warp layer counts executions, not releases).
+    fn collect_profile(&self, kernel: &str) -> KernelProfile {
+        let mut counts = PipeCounts::default();
+        let mut warps = 0u64;
+        for b in &self.blocks {
+            for w in &b.warps {
+                warps += 1;
+                if let Some(p) = w.prof.as_deref() {
+                    counts.merge(p);
+                }
+            }
+            counts.syncthreads += b.block_syncs;
+        }
+        counts.grid_barriers += self.grid_syncs;
+        KernelProfile {
+            kernel: kernel.to_string(),
+            launches: 1,
+            warps,
+            counts,
+        }
     }
 
     /// Run to completion under the happens-before race detector; returns

@@ -15,7 +15,9 @@
 //! Xiao–Feng lock-free barrier GOTHIC uses ([`barrier`], Appendix A).
 //! [`carveout`] models the Volta shared-memory carveout API with its
 //! floor-function pitfall; [`microbench`] holds the reduction/scan
-//! kernels behind the Table 2 tuning study.
+//! kernels behind the Table 2 tuning study; [`prof`] is the opt-in
+//! nvprof-style per-pipe instruction profiler
+//! ([`Grid::run_profiled`]).
 
 pub mod barrier;
 pub mod block;
@@ -23,6 +25,7 @@ pub mod carveout;
 pub mod grid;
 pub mod ir;
 pub mod microbench;
+pub mod prof;
 pub mod racecheck;
 pub mod warp;
 
@@ -31,6 +34,7 @@ pub use block::{BlockOutcome, ThreadBlock};
 pub use carveout::{carveout_capacity_kib, carveout_percent_for, CARVEOUT_CANDIDATES_KIB};
 pub use grid::{Grid, GridStats};
 pub use ir::{op_class, op_mnemonic, Inst, MaskSpec, Op, OpClass, Program, Reg, Stmt, FULL_MASK};
+pub use prof::{KernelProfile, PipeCounts};
 pub use racecheck::{
     AccessKind, CollectiveSite, Hazard, HazardRecord, MemSpace, RaceKind, Racecheck,
     RacecheckConfig, RacecheckReport, SyncScope, Tid,

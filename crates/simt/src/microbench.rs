@@ -11,6 +11,7 @@
 
 use crate::grid::{Grid, GridStats};
 use crate::ir::{MaskSpec, Op, Program, Reg, Stmt};
+use crate::prof::KernelProfile;
 use crate::racecheck::{RacecheckConfig, RacecheckReport};
 use crate::warp::Scheduler;
 
@@ -366,6 +367,329 @@ pub fn gravity_flush_kernel(n_sources: u32, eps2: f32) -> Program {
     Program::compile(&body)
 }
 
+/// Per-particle global-memory record of the integrator kernels:
+/// `[x y z vx vy vz ax ay az]`, particle `i` at words `[9i .. 9i+9)`.
+pub const INTEGRATE_STRIDE: usize = 9;
+
+/// Leapfrog time step of the integrator micro-kernels — a power of two
+/// so the host-side reference arithmetic is bit-identical.
+pub const INTEGRATE_DT: f32 = 0.0625;
+
+/// Build the **predict** (drift) micro-kernel: each thread advances one
+/// particle by `x += h·(v + a·h/2)` and `v += a·h`, mirroring the
+/// instruction mix `gpu_model::IntegrateEvents` prices per particle:
+/// 6 FMA (two per axis for the position), 3 mul + 3 add (velocity), the
+/// record loads/stores, and the explicit integer address arithmetic the
+/// IR needs for every access (the model folds addressing into a smaller
+/// INT estimate — see `gpu_model::measured`).
+pub fn predict_kernel(h: f32) -> Program {
+    let tid = Reg(0);
+    let c9 = Reg(1);
+    let one = Reg(2);
+    let addr = Reg(3);
+    let (x, y, z) = (Reg(4), Reg(5), Reg(6));
+    let (vx, vy, vz) = (Reg(7), Reg(8), Reg(9));
+    let (ax, ay, az) = (Reg(10), Reg(11), Reg(12));
+    let h_r = Reg(13);
+    let h2_r = Reg(14);
+    let t0 = Reg(15);
+
+    let mut body = vec![
+        Stmt::Op(Op::ThreadId(tid)),
+        Stmt::Op(Op::ConstI(c9, INTEGRATE_STRIDE as i32)),
+        Stmt::Op(Op::ConstI(one, 1)),
+        Stmt::Op(Op::MulI(addr, tid, c9)),
+    ];
+    for (k, reg) in [x, y, z, vx, vy, vz, ax, ay, az].into_iter().enumerate() {
+        body.push(Stmt::Op(Op::LdGlobal(reg, addr)));
+        if k < INTEGRATE_STRIDE - 1 {
+            body.push(Stmt::Op(Op::AddI(addr, addr, one)));
+        }
+    }
+    body.push(Stmt::Op(Op::ConstF(h_r, h)));
+    body.push(Stmt::Op(Op::ConstF(h2_r, h / 2.0)));
+    // x += h · (v + a·h/2): two FMAs per axis.
+    for (p, v, a) in [(x, vx, ax), (y, vy, ay), (z, vz, az)] {
+        body.push(Stmt::Op(Op::FmaF(t0, a, h2_r, v)));
+        body.push(Stmt::Op(Op::FmaF(p, t0, h_r, p)));
+    }
+    // v += a·h: one mul + one add per axis.
+    for (v, a) in [(vx, ax), (vy, ay), (vz, az)] {
+        body.push(Stmt::Op(Op::MulF(t0, a, h_r)));
+        body.push(Stmt::Op(Op::AddF(v, v, t0)));
+    }
+    body.push(Stmt::Op(Op::MulI(addr, tid, c9)));
+    for (k, reg) in [x, y, z, vx, vy, vz].into_iter().enumerate() {
+        body.push(Stmt::Op(Op::StGlobal(addr, reg)));
+        if k < 5 {
+            body.push(Stmt::Op(Op::AddI(addr, addr, one)));
+        }
+    }
+    Program::compile(&body)
+}
+
+/// Build the **correct** micro-kernel: the velocity half-kick
+/// `v += a·h/2`, a position refinement `x += v·h/2`, and the
+/// acceleration-norm reduction `s = ax² + ay² + az² + ε` the corrector
+/// uses to size the next step — the same per-particle pipe mix as
+/// [`predict_kernel`] (6 FMA, 3 mul, 3 add) with one extra store for
+/// `s`, written to `global[9·n_particles + tid]`.
+pub fn correct_kernel(h: f32, eps: f32, n_particles: usize) -> Program {
+    let tid = Reg(0);
+    let c9 = Reg(1);
+    let one = Reg(2);
+    let addr = Reg(3);
+    let (x, y, z) = (Reg(4), Reg(5), Reg(6));
+    let (vx, vy, vz) = (Reg(7), Reg(8), Reg(9));
+    let (ax, ay, az) = (Reg(10), Reg(11), Reg(12));
+    let h2_r = Reg(13);
+    let s = Reg(14);
+    let t0 = Reg(15);
+    let t1 = Reg(16);
+
+    let mut body = vec![
+        Stmt::Op(Op::ThreadId(tid)),
+        Stmt::Op(Op::ConstI(c9, INTEGRATE_STRIDE as i32)),
+        Stmt::Op(Op::ConstI(one, 1)),
+        Stmt::Op(Op::MulI(addr, tid, c9)),
+    ];
+    for (k, reg) in [x, y, z, vx, vy, vz, ax, ay, az].into_iter().enumerate() {
+        body.push(Stmt::Op(Op::LdGlobal(reg, addr)));
+        if k < INTEGRATE_STRIDE - 1 {
+            body.push(Stmt::Op(Op::AddI(addr, addr, one)));
+        }
+    }
+    body.push(Stmt::Op(Op::ConstF(h2_r, h / 2.0)));
+    // Half-kick then position refinement: two FMAs per axis.
+    for (p, v, a) in [(x, vx, ax), (y, vy, ay), (z, vz, az)] {
+        body.push(Stmt::Op(Op::FmaF(v, a, h2_r, v)));
+        body.push(Stmt::Op(Op::FmaF(p, v, h2_r, p)));
+    }
+    // s = ax² + ay² + az² + ε: three muls, three adds.
+    body.push(Stmt::Op(Op::MulF(s, ax, ax)));
+    body.push(Stmt::Op(Op::MulF(t0, ay, ay)));
+    body.push(Stmt::Op(Op::MulF(t1, az, az)));
+    body.push(Stmt::Op(Op::AddF(s, s, t0)));
+    body.push(Stmt::Op(Op::AddF(s, s, t1)));
+    body.push(Stmt::Op(Op::ConstF(t0, eps)));
+    body.push(Stmt::Op(Op::AddF(s, s, t0)));
+    body.push(Stmt::Op(Op::MulI(addr, tid, c9)));
+    for (k, reg) in [x, y, z, vx, vy, vz].into_iter().enumerate() {
+        body.push(Stmt::Op(Op::StGlobal(addr, reg)));
+        if k < 5 {
+            body.push(Stmt::Op(Op::AddI(addr, addr, one)));
+        }
+    }
+    body.push(Stmt::Op(Op::ConstI(
+        t1,
+        (INTEGRATE_STRIDE * n_particles) as i32,
+    )));
+    body.push(Stmt::Op(Op::AddI(addr, t1, tid)));
+    body.push(Stmt::Op(Op::StGlobal(addr, s)));
+    Program::compile(&body)
+}
+
+/// Deterministic initial record of particle `i` for the integrator
+/// kernels (all coordinates exact in f32).
+fn integrate_init(i: usize) -> [f32; INTEGRATE_STRIDE] {
+    let f = i as f32;
+    [
+        0.125 * f,          // x
+        0.25 * f,           // y
+        -0.125 * f,         // z
+        1.0 + 0.0625 * f,   // vx
+        -1.0 + 0.03125 * f, // vy
+        0.5 - 0.0625 * f,   // vz
+        0.25 - 0.015625 * f,
+        -0.5 + 0.03125 * f,
+        0.125 * f - 1.0,
+    ]
+}
+
+fn integrate_grid(p: &Program, ttot: usize, extra_words: usize) -> Grid {
+    let mut g = Grid::new(1, ttot, 1, INTEGRATE_STRIDE * ttot + extra_words, p);
+    for i in 0..ttot {
+        for (k, v) in integrate_init(i).into_iter().enumerate() {
+            g.global[INTEGRATE_STRIDE * i + k] = v.to_bits();
+        }
+    }
+    g
+}
+
+/// Host-side predict reference, op for op the kernel's arithmetic.
+fn predict_reference(r: &[f32; INTEGRATE_STRIDE], h: f32) -> [f32; 6] {
+    let mut out = [0.0f32; 6];
+    for axis in 0..3 {
+        let (p, v, a) = (r[axis], r[3 + axis], r[6 + axis]);
+        out[axis] = a.mul_add(h / 2.0, v).mul_add(h, p);
+        out[3 + axis] = v + a * h;
+    }
+    out
+}
+
+fn verify_predict(g: &Grid, ttot: usize, h: f32) -> bool {
+    (0..ttot).all(|i| {
+        let expect = predict_reference(&integrate_init(i), h);
+        (0..6).all(|k| g.global[INTEGRATE_STRIDE * i + k] == expect[k].to_bits())
+    })
+}
+
+/// Host-side correct reference: `(x', v', s)` per axis triple.
+fn correct_reference(r: &[f32; INTEGRATE_STRIDE], h: f32, eps: f32) -> ([f32; 6], f32) {
+    let mut out = [0.0f32; 6];
+    for axis in 0..3 {
+        let (p, v, a) = (r[axis], r[3 + axis], r[6 + axis]);
+        let vc = a.mul_add(h / 2.0, v);
+        out[axis] = vc.mul_add(h / 2.0, p);
+        out[3 + axis] = vc;
+    }
+    let s = r[6] * r[6] + r[7] * r[7] + r[8] * r[8] + eps;
+    (out, s)
+}
+
+fn verify_correct(g: &Grid, ttot: usize, h: f32, eps: f32) -> bool {
+    (0..ttot).all(|i| {
+        let (expect, s) = correct_reference(&integrate_init(i), h, eps);
+        (0..6).all(|k| g.global[INTEGRATE_STRIDE * i + k] == expect[k].to_bits())
+            && g.global[INTEGRATE_STRIDE * ttot + i] == s.to_bits()
+    })
+}
+
+/// Run the predict kernel on one block of `ttot` threads and verify
+/// against the bit-exact host reference.
+pub fn run_predict(ttot: usize, sched: Scheduler) -> BenchRun {
+    let p = predict_kernel(INTEGRATE_DT);
+    let mut g = integrate_grid(&p, ttot, 0);
+    let stats = g
+        .run(&p, sched, 50_000_000)
+        .expect("predict kernel must terminate");
+    BenchRun {
+        stats,
+        correct: verify_predict(&g, ttot, INTEGRATE_DT),
+    }
+}
+
+/// Run the correct kernel on one block of `ttot` threads and verify
+/// against the bit-exact host reference.
+pub fn run_correct(ttot: usize, sched: Scheduler) -> BenchRun {
+    const EPS: f32 = 0.125;
+    let p = correct_kernel(INTEGRATE_DT, EPS, ttot);
+    let mut g = integrate_grid(&p, ttot, ttot);
+    let stats = g
+        .run(&p, sched, 50_000_000)
+        .expect("correct kernel must terminate");
+    BenchRun {
+        stats,
+        correct: verify_correct(&g, ttot, INTEGRATE_DT, EPS),
+    }
+}
+
+/// [`run_reduction`] with per-pipe profiling, recorded as `"reduction"`.
+pub fn run_reduction_profiled(
+    ttot: usize,
+    tsub: u32,
+    volta_sync: bool,
+    sched: Scheduler,
+) -> (BenchRun, KernelProfile) {
+    let p = reduction_kernel(tsub, volta_sync);
+    let n_groups = ttot / tsub as usize;
+    let mut g = Grid::new(1, ttot, n_groups.max(1), 4, &p);
+    let (stats, profile) = g
+        .run_profiled(&p, sched, 50_000_000, "reduction")
+        .expect("reduction kernel must terminate");
+    let mut correct = true;
+    for group in 0..n_groups {
+        let base = group * tsub as usize;
+        let expect: u32 = (0..tsub as usize).map(|i| (base + i + 1) as u32).sum();
+        if g.blocks[0].shared[group] != expect {
+            correct = false;
+        }
+    }
+    (BenchRun { stats, correct }, profile)
+}
+
+/// [`run_scan`] with per-pipe profiling, recorded as `"scan"`.
+pub fn run_scan_profiled(
+    ttot: usize,
+    tsub: u32,
+    volta_sync: bool,
+    sched: Scheduler,
+) -> (BenchRun, KernelProfile) {
+    let p = scan_kernel(tsub, volta_sync);
+    let mut g = Grid::new(1, ttot, ttot, 4, &p);
+    let (stats, profile) = g
+        .run_profiled(&p, sched, 50_000_000, "scan")
+        .expect("scan kernel must terminate");
+    let mut correct = true;
+    for t in 0..ttot {
+        let expect = (t % tsub as usize + 1) as u32;
+        if g.blocks[0].shared[t] != expect {
+            correct = false;
+        }
+    }
+    (BenchRun { stats, correct }, profile)
+}
+
+/// Gravity flush (one warp, `n_sources` staged records) with per-pipe
+/// profiling, recorded as `"gravity_flush"`.
+pub fn run_gravity_flush_profiled(
+    n_sources: u32,
+    eps2: f32,
+    sched: Scheduler,
+) -> (BenchRun, KernelProfile) {
+    let p = gravity_flush_kernel(n_sources, eps2);
+    let shared_words = (4 * n_sources + 32) as usize;
+    let mut g = Grid::new(1, 32, shared_words, 4, &p);
+    for j in 0..n_sources as usize {
+        let f = j as f32;
+        g.blocks[0].shared[4 * j] = (0.05 * f).to_bits();
+        g.blocks[0].shared[4 * j + 1] = (0.10 * f).to_bits();
+        g.blocks[0].shared[4 * j + 2] = (-0.05 * f).to_bits();
+        g.blocks[0].shared[4 * j + 3] = (1.0 + f / 8.0).to_bits();
+    }
+    let (stats, profile) = g
+        .run_profiled(&p, sched, 50_000_000, "gravity_flush")
+        .expect("gravity flush kernel must terminate");
+    let correct = (0..32).all(|l| {
+        let az = f32::from_bits(g.blocks[0].shared[(4 * n_sources) as usize + l]);
+        az.is_finite()
+    });
+    (BenchRun { stats, correct }, profile)
+}
+
+/// [`run_predict`] with per-pipe profiling, recorded as `"predict"`.
+pub fn run_predict_profiled(ttot: usize, sched: Scheduler) -> (BenchRun, KernelProfile) {
+    let p = predict_kernel(INTEGRATE_DT);
+    let mut g = integrate_grid(&p, ttot, 0);
+    let (stats, profile) = g
+        .run_profiled(&p, sched, 50_000_000, "predict")
+        .expect("predict kernel must terminate");
+    (
+        BenchRun {
+            stats,
+            correct: verify_predict(&g, ttot, INTEGRATE_DT),
+        },
+        profile,
+    )
+}
+
+/// [`run_correct`] with per-pipe profiling, recorded as `"correct"`.
+pub fn run_correct_profiled(ttot: usize, sched: Scheduler) -> (BenchRun, KernelProfile) {
+    const EPS: f32 = 0.125;
+    let p = correct_kernel(INTEGRATE_DT, EPS, ttot);
+    let mut g = integrate_grid(&p, ttot, ttot);
+    let (stats, profile) = g
+        .run_profiled(&p, sched, 50_000_000, "correct")
+        .expect("correct kernel must terminate");
+    (
+        BenchRun {
+            stats,
+            correct: verify_correct(&g, ttot, INTEGRATE_DT, EPS),
+        },
+        profile,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +746,73 @@ mod tests {
         let r = run_scan(256, 16, true, Scheduler::Independent);
         assert!(r.correct);
         assert!(r.stats.block_syncs >= 1);
+    }
+
+    #[test]
+    fn integrators_match_the_host_reference_bit_exactly() {
+        for sched in [Scheduler::Lockstep, Scheduler::Independent] {
+            for ttot in [32usize, 96] {
+                assert!(run_predict(ttot, sched).correct, "predict {ttot} {sched:?}");
+                assert!(run_correct(ttot, sched).correct, "correct {ttot} {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_integrators_count_the_modeled_fp_mix() {
+        // The IntegrateEvents mix is 6 FMA + 3 mul + 3 add per particle;
+        // the measured kernels must reproduce it exactly.
+        let ttot = 64u64;
+        for runner in [run_predict_profiled, run_correct_profiled] {
+            let (b, prof) = runner(ttot as usize, Scheduler::Lockstep);
+            assert!(b.correct);
+            assert_eq!(prof.counts.fp_fma, 6 * ttot);
+            assert_eq!(prof.counts.fp_mul, 3 * ttot);
+            assert_eq!(prof.counts.fp_add, 3 * ttot);
+            assert_eq!(prof.counts.fp_special, 0);
+            assert_eq!(prof.counts.global_ld, 9 * ttot);
+            assert!(prof.counts.int_ops > 0);
+            assert_eq!(prof.counts.divergence_events, 0);
+        }
+        let (_, pp) = run_predict_profiled(ttot as usize, Scheduler::Lockstep);
+        let (_, cp) = run_correct_profiled(ttot as usize, Scheduler::Lockstep);
+        assert_eq!(pp.counts.global_st, 6 * ttot);
+        assert_eq!(cp.counts.global_st, 7 * ttot, "corrector stores s too");
+    }
+
+    #[test]
+    fn profiled_gravity_flush_counts_the_interaction_mix() {
+        // Per interaction (lane × source): 6 FMA, 3 mul, 1 rsqrt, 4 shared
+        // loads. The 4 fp adds/subs per interaction share the pipe with
+        // the sink-staging loop's adds, so only a lower bound holds there.
+        let n_sources = 32u64;
+        let inter = 32 * n_sources;
+        let (b, prof) = run_gravity_flush_profiled(n_sources as u32, 1e-4, Scheduler::Lockstep);
+        assert!(b.correct);
+        assert_eq!(prof.counts.fp_fma, 6 * inter);
+        assert_eq!(prof.counts.fp_mul, 3 * inter);
+        assert_eq!(prof.counts.fp_special, inter);
+        assert_eq!(prof.counts.shared_ld, 4 * inter);
+        assert!(prof.counts.fp_add >= 4 * inter);
+        assert_eq!(prof.warps, 1);
+    }
+
+    #[test]
+    fn profiled_reduction_sees_shuffles_syncs_and_divergence() {
+        crate::prof::reset();
+        let (b, prof) = run_reduction_profiled(128, 32, true, Scheduler::Independent);
+        assert!(b.correct);
+        // 5 butterfly stages × 32 lanes × 4 warps.
+        assert_eq!(prof.counts.shuffles, 5 * 32 * 4);
+        assert!(prof.counts.syncwarps > 0);
+        assert_eq!(prof.counts.syncthreads, b.stats.block_syncs);
+        // The leader-store branch diverges each warp once.
+        assert!(prof.counts.divergence_events >= 4);
+        assert!(prof.counts.max_reconv_depth >= 2);
+        // The launch landed in the registry under its kernel name.
+        let agg = crate::prof::get("reduction").unwrap();
+        assert_eq!(agg.launches, 1);
+        assert_eq!(agg.counts, prof.counts);
+        crate::prof::reset();
     }
 }

@@ -142,6 +142,9 @@ pub struct Warp {
     /// Lane-level instruction counts per class (each retired instruction
     /// counts once per active lane — the nvprof convention).
     pub lane_counts: LaneCounts,
+    /// Opt-in per-pipe profiling (see [`crate::prof`]); `None` keeps the
+    /// unprofiled hot path to one branch per retired instruction.
+    pub prof: Option<Box<crate::prof::PipeCounts>>,
 }
 
 /// nvprof-style lane-instruction counters.
@@ -176,6 +179,14 @@ impl Warp {
             syncwarps: 0,
             frag_births: 0,
             lane_counts: LaneCounts::default(),
+            prof: None,
+        }
+    }
+
+    /// Turn on per-pipe profiling for this warp (see [`crate::prof`]).
+    pub fn enable_prof(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::default());
         }
     }
 
@@ -366,6 +377,9 @@ impl Warp {
             OpClass::Sync => self.lane_counts.sync += lanes,
             OpClass::Control => self.lane_counts.control += lanes,
         }
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.count_inst(&inst, lanes);
+        }
 
         match inst {
             Inst::Halt => {
@@ -399,6 +413,10 @@ impl Warp {
                         executed,
                         born: self.frag_births,
                     });
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.divergence_events += 1;
+                        p.max_reconv_depth = p.max_reconv_depth.max(self.frags.len() as u64);
+                    }
                 }
             }
             Inst::Op(op) => {

@@ -9,10 +9,12 @@
 //!   wall-clock time with nesting, so the five Table-2 phases of every
 //!   block step show up as real measured intervals next to the modeled
 //!   GPU times.
-//! * **Counters** ([`metrics`]) — a fixed registry of named monotonic
-//!   counters (interactions, MAC evaluations, radix passes, syncwarp and
-//!   grid-barrier executions, …) that rayon workers bump through sharded
-//!   atomics, merged on read.
+//! * **Counters and histograms** ([`metrics`]) — a fixed registry of
+//!   named monotonic counters (interactions, MAC evaluations, radix
+//!   passes, syncwarp and grid-barrier executions, …) that rayon workers
+//!   bump through sharded atomics, merged on read, plus log₂-bucket
+//!   [`Histogram`]s with p50/p95/p99 snapshots for latency-shaped values
+//!   and a Prometheus text exposition of both.
 //! * **Sinks** ([`sink`]) — a process-wide trace sink rendering either
 //!   JSON-lines structured events (one object per line: spans, step
 //!   records, counter snapshots) or human-readable breakdown tables.
@@ -50,7 +52,7 @@ pub mod report;
 pub mod sink;
 pub mod span;
 
-pub use metrics::Counter;
+pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use report::RunReport;
 pub use span::{span, SpanGuard};
 

@@ -8,13 +8,15 @@
 //!   "name": "table2_block_config",
 //!   "meta": { "n": 16384, "steps": 24, "...": "free-form" },
 //!   "rows": [ { "...": "one object per table row" } ],
-//!   "counters": { "walk.interactions": 123, "...": 0 }
+//!   "counters": { "walk.interactions": 123, "...": 0 },
+//!   "histograms": { "serve.request.ns": { "count": 8, "sum": 0, "p50": 0, "p95": 0, "p99": 0 } }
 //! }
 //! ```
 //!
-//! `rows` carries the same numbers as the printed table; `counters` is a
-//! snapshot of the workspace registry at write time, so a report is a
-//! self-contained record of what a run did, diffable across PRs.
+//! `rows` carries the same numbers as the printed table; `counters` and
+//! `histograms` snapshot the workspace registries at write time, so a
+//! report is a self-contained record of what a run did, diffable across
+//! PRs.
 
 use crate::json::JsonObject;
 use std::path::{Path, PathBuf};
@@ -71,11 +73,23 @@ impl RunReport {
         for (name, value) in crate::metrics::snapshot() {
             counters.u64(name, value);
         }
+        let mut hists = JsonObject::new();
+        for (name, snap) in crate::metrics::snapshot_histograms() {
+            let (p50, p95, p99) = snap.quantiles();
+            let mut h = JsonObject::new();
+            h.u64("count", snap.count)
+                .u64("sum", snap.sum)
+                .u64("p50", p50)
+                .u64("p95", p95)
+                .u64("p99", p99);
+            hists.raw(name, &h.finish());
+        }
         let mut doc = JsonObject::new();
         doc.str("name", &self.name)
             .raw("meta", &self.meta.finish())
             .raw("rows", &format!("[{}]", self.rows.join(",")))
-            .raw("counters", &counters.finish());
+            .raw("counters", &counters.finish())
+            .raw("histograms", &hists.finish());
         doc.finish()
     }
 
@@ -120,11 +134,20 @@ mod tests {
         let rows = doc.get("rows").unwrap().as_arr().unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("t_total").unwrap().as_f64(), Some(0.125));
-        // Counters section mirrors the registry.
+        // Counters and histograms sections mirror the registries.
         assert_eq!(
             doc.get("counters").unwrap().as_obj().unwrap().len(),
             crate::metrics::counters::ALL.len()
         );
+        let hists = doc.get("histograms").unwrap();
+        assert_eq!(
+            hists.as_obj().unwrap().len(),
+            crate::metrics::histograms::ALL.len()
+        );
+        let h = hists.get("serve.request.ns").unwrap();
+        for k in ["count", "sum", "p50", "p95", "p99"] {
+            assert!(h.get(k).is_some(), "histogram entry missing {k}");
+        }
     }
 
     #[test]

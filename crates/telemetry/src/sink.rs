@@ -17,6 +17,14 @@
 //! The sink is behind a `Mutex`; span emission is per phase (a handful
 //! of events per block step), so lock traffic is negligible next to the
 //! work being measured.
+//!
+//! A second output format, [`TraceFormat::Chrome`], renders the same
+//! span stream as Chrome trace-event JSON (one array of `ph:"X"`
+//! complete events plus `ph:"C"` counter samples) so a run opens
+//! directly in Perfetto or `chrome://tracing`. Structured JSON-lines
+//! events without a trace-event analogue (`step`, `hazard`,
+//! `racecheck`) are dropped in Chrome mode — the timeline carries the
+//! spans and counters only.
 
 use crate::json::JsonObject;
 use std::fs::File;
@@ -35,7 +43,26 @@ enum Target {
     Memory(Vec<String>),
 }
 
-static SINK: Mutex<Option<Target>> = Mutex::new(None);
+/// Trace output format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One self-contained JSON object per line (the native schema).
+    #[default]
+    JsonLines,
+    /// Chrome trace-event JSON: a single array of `ph:"X"` span events
+    /// and `ph:"C"` counter samples, loadable in Perfetto and
+    /// `chrome://tracing`. Timestamps/durations are microseconds.
+    Chrome,
+}
+
+struct Sink {
+    target: Target,
+    format: TraceFormat,
+    /// Chrome events written so far, for comma framing of the array.
+    events: u64,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
@@ -57,41 +84,73 @@ pub fn thread_label() -> u64 {
     THREAD_LABEL.with(|l| *l)
 }
 
-fn lock() -> MutexGuard<'static, Option<Target>> {
+fn lock() -> MutexGuard<'static, Option<Sink>> {
     SINK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn install(t: Target) {
+fn install(target: Target, format: TraceFormat) {
     epoch();
-    let meta = {
-        let mut o = JsonObject::new();
-        o.str("type", "meta")
-            .u64("version", TRACE_VERSION as u64)
-            .str("schema", "span|step|counters|hazard|racecheck");
-        o.finish()
-    };
     let mut g = lock();
-    *g = Some(t);
-    write_line(&mut g, &meta);
+    *g = Some(Sink {
+        target,
+        format,
+        events: 0,
+    });
+    match format {
+        TraceFormat::JsonLines => {
+            let mut o = JsonObject::new();
+            o.str("type", "meta")
+                .u64("version", TRACE_VERSION as u64)
+                .str("schema", "span|step|counters|hazard|racecheck");
+            write_line(&mut g, &o.finish());
+        }
+        TraceFormat::Chrome => {
+            write_line(&mut g, "[");
+            let mut args = JsonObject::new();
+            args.str("name", "gothic");
+            let mut o = JsonObject::new();
+            o.str("name", "process_name")
+                .str("ph", "M")
+                .u64("pid", std::process::id() as u64)
+                .u64("tid", 0)
+                .raw("args", &args.finish());
+            write_chrome_event(&mut g, &o.finish());
+        }
+    }
     drop(g);
     crate::enable_all();
 }
 
 /// Install a file sink at `path` and enable spans + metrics.
 pub fn init_trace_file(path: &Path) -> std::io::Result<()> {
+    init_trace_file_with(path, TraceFormat::JsonLines)
+}
+
+/// Install a file sink at `path` with an explicit format.
+pub fn init_trace_file_with(path: &Path, format: TraceFormat) -> std::io::Result<()> {
     let f = File::create(path)?;
-    install(Target::File(BufWriter::new(f)));
+    install(Target::File(BufWriter::new(f)), format);
     Ok(())
 }
 
 /// Install a stderr sink and enable spans + metrics.
 pub fn init_trace_stderr() {
-    install(Target::Stderr);
+    install(Target::Stderr, TraceFormat::JsonLines);
+}
+
+/// Install a stderr sink with an explicit format.
+pub fn init_trace_stderr_with(format: TraceFormat) {
+    install(Target::Stderr, format);
 }
 
 /// Install an in-memory sink (tests) and enable spans + metrics.
 pub fn init_trace_memory() {
-    install(Target::Memory(Vec::new()));
+    install(Target::Memory(Vec::new()), TraceFormat::JsonLines);
+}
+
+/// Install an in-memory sink with an explicit format (tests).
+pub fn init_trace_memory_with(format: TraceFormat) {
+    install(Target::Memory(Vec::new()), format);
 }
 
 /// True when a sink is installed.
@@ -100,63 +159,158 @@ pub fn trace_active() -> bool {
 }
 
 /// Drain the lines collected by a memory sink (empty for other sinks).
+/// In Chrome format the concatenation of the drained lines is the JSON
+/// document built so far (without the closing `]` written by
+/// [`shutdown`]).
 pub fn drain_memory() -> Vec<String> {
     match &mut *lock() {
-        Some(Target::Memory(v)) => std::mem::take(v),
+        Some(Sink {
+            target: Target::Memory(v),
+            ..
+        }) => std::mem::take(v),
         _ => Vec::new(),
     }
 }
 
-/// Flush and remove the sink; disables spans and metrics.
+/// Flush and remove the sink; disables spans and metrics. In Chrome
+/// format this also closes the event array — a trace file is valid JSON
+/// only after shutdown.
 pub fn shutdown() {
     crate::disable_all();
     let mut g = lock();
-    if let Some(Target::File(w)) = &mut *g {
+    if let Some(s) = &mut *g {
+        if s.format == TraceFormat::Chrome {
+            write_line(&mut g, "]");
+        }
+    }
+    if let Some(Sink {
+        target: Target::File(w),
+        ..
+    }) = &mut *g
+    {
         let _ = w.flush();
     }
     *g = None;
 }
 
-fn write_line(g: &mut MutexGuard<'_, Option<Target>>, line: &str) {
+fn write_line(g: &mut MutexGuard<'_, Option<Sink>>, line: &str) {
     match &mut **g {
         None => {}
-        Some(Target::File(w)) => {
-            let _ = writeln!(w, "{line}");
-        }
-        Some(Target::Stderr) => {
-            eprintln!("{line}");
-        }
-        Some(Target::Memory(v)) => v.push(line.to_string()),
+        Some(s) => match &mut s.target {
+            Target::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Target::Stderr => {
+                eprintln!("{line}");
+            }
+            Target::Memory(v) => v.push(line.to_string()),
+        },
     }
 }
 
-/// Emit one pre-built event object as a trace line.
+/// Append one event object to a Chrome-format trace, handling the comma
+/// framing of the surrounding array.
+fn write_chrome_event(g: &mut MutexGuard<'_, Option<Sink>>, json: &str) {
+    let first = match &mut **g {
+        Some(s) => {
+            let first = s.events == 0;
+            s.events += 1;
+            first
+        }
+        None => return,
+    };
+    if first {
+        write_line(g, json);
+    } else {
+        write_line(g, &format!(",{json}"));
+    }
+}
+
+fn format_of(g: &MutexGuard<'_, Option<Sink>>) -> Option<TraceFormat> {
+    g.as_ref().map(|s| s.format)
+}
+
+/// Emit one pre-built event object as a trace line. JSON-lines only:
+/// structured events without a trace-event analogue are dropped by a
+/// Chrome sink.
 pub fn emit(obj: &JsonObject) {
-    let line = obj.finish();
-    write_line(&mut lock(), &line);
+    let mut g = lock();
+    if format_of(&g) == Some(TraceFormat::JsonLines) {
+        let line = obj.finish();
+        write_line(&mut g, &line);
+    }
 }
 
 /// Record one completed span (called by the [`crate::SpanGuard`] drop).
 pub fn record_span(name: &'static str, depth: u32, t_ns: u64, dur_ns: u64) {
-    let mut o = JsonObject::new();
-    o.str("type", "span")
-        .str("name", name)
-        .u64("depth", depth as u64)
-        .u64("thread", thread_label())
-        .u64("t_ns", t_ns)
-        .u64("dur_ns", dur_ns);
-    emit(&o);
+    let mut g = lock();
+    match format_of(&g) {
+        None => {}
+        Some(TraceFormat::JsonLines) => {
+            let mut o = JsonObject::new();
+            o.str("type", "span")
+                .str("name", name)
+                .u64("depth", depth as u64)
+                .u64("thread", thread_label())
+                .u64("t_ns", t_ns)
+                .u64("dur_ns", dur_ns);
+            write_line(&mut g, &o.finish());
+        }
+        Some(TraceFormat::Chrome) => {
+            let mut args = JsonObject::new();
+            args.u64("depth", depth as u64);
+            let mut o = JsonObject::new();
+            o.str("name", name)
+                .str("cat", "span")
+                .str("ph", "X")
+                .f64("ts", t_ns as f64 / 1_000.0)
+                .f64("dur", dur_ns as f64 / 1_000.0)
+                .u64("pid", std::process::id() as u64)
+                .u64("tid", thread_label())
+                .raw("args", &args.finish());
+            write_chrome_event(&mut g, &o.finish());
+        }
+    }
 }
 
-/// Emit a `counters` line carrying the full registry snapshot.
+/// Emit a `counters` line carrying the full registry snapshot. A Chrome
+/// sink renders the nonzero counters as one `ph:"C"` counter sample.
 pub fn emit_counters() {
-    let mut inner = JsonObject::new();
-    for (name, value) in crate::metrics::snapshot() {
-        inner.u64(name, value);
+    let mut g = lock();
+    match format_of(&g) {
+        None => {}
+        Some(TraceFormat::JsonLines) => {
+            let mut inner = JsonObject::new();
+            for (name, value) in crate::metrics::snapshot() {
+                inner.u64(name, value);
+            }
+            let mut o = JsonObject::new();
+            o.str("type", "counters").raw("counters", &inner.finish());
+            write_line(&mut g, &o.finish());
+        }
+        Some(TraceFormat::Chrome) => {
+            let mut args = JsonObject::new();
+            let mut any = false;
+            for (name, value) in crate::metrics::snapshot() {
+                if value > 0 {
+                    args.u64(name, value);
+                    any = true;
+                }
+            }
+            if !any {
+                return;
+            }
+            let ts = Instant::now().duration_since(epoch()).as_nanos() as f64 / 1_000.0;
+            let mut o = JsonObject::new();
+            o.str("name", "counters")
+                .str("ph", "C")
+                .f64("ts", ts)
+                .u64("pid", std::process::id() as u64)
+                .u64("tid", 0)
+                .raw("args", &args.finish());
+            write_chrome_event(&mut g, &o.finish());
+        }
     }
-    let mut o = JsonObject::new();
-    o.str("type", "counters").raw("counters", &inner.finish());
-    emit(&o);
 }
 
 /// Render the modeled-vs-measured breakdown table:
@@ -290,6 +444,57 @@ mod tests {
         assert!(!crate::spans_enabled());
         // Emission without a sink is a silent no-op.
         record_span("ghost", 0, 0, 1);
+    }
+
+    #[test]
+    fn chrome_sink_builds_a_valid_event_array() {
+        let _g = test_lock();
+        let path = std::env::temp_dir().join("telemetry_sink_test_chrome.json");
+        crate::metrics::reset_all();
+        init_trace_file_with(&path, TraceFormat::Chrome).unwrap();
+        {
+            let _outer = crate::span("outer");
+            let _inner = crate::span("inner");
+        }
+        crate::metrics::counters::WALK_INTERACTIONS.add(11);
+        emit_counters();
+        // Structured lines are dropped, not corrupted, in Chrome mode.
+        let mut stray = JsonObject::new();
+        stray.str("type", "step");
+        emit(&stray);
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = json::parse(&text).expect("chrome trace is one valid JSON document");
+        let events = doc.as_arr().expect("top level is an array");
+        // process_name metadata + 2 spans + 1 counter sample.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            for k in ["ts", "dur", "name", "pid", "tid"] {
+                assert!(s.get(k).is_some(), "X event missing {k}");
+            }
+        }
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("walk.interactions")
+                .unwrap()
+                .as_u64(),
+            Some(11)
+        );
+        crate::metrics::reset_all();
     }
 
     #[test]

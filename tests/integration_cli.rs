@@ -93,6 +93,66 @@ fn restart_from_missing_file_fails_cleanly() {
 }
 
 #[test]
+fn trace_format_flag_is_validated_at_the_cli_boundary() {
+    assert_usage_error(
+        &["--trace-format", "perfetto"],
+        "--trace-format must be 'jsonl' or 'chrome'",
+    );
+    // Chrome is a file format for the trace sink; without a sink there is
+    // nothing to format.
+    assert_usage_error(
+        &["--trace-format", "chrome"],
+        "--trace-format requires --trace",
+    );
+}
+
+#[test]
+fn profile_flag_prints_the_measured_vs_modeled_tables() {
+    let out = run(&["--n", "256", "--steps", "1", "--profile"]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simt profiler"), "stdout: {text}");
+    // Every Table 2 function must appear in the measured table.
+    for f in ["walkTree", "calcNode", "makeTree", "predict", "correct"] {
+        assert!(text.contains(f), "profile table must cover {f}: {text}");
+    }
+    assert!(text.contains("rel err"), "stdout: {text}");
+    assert!(text.contains("INT/FP32 overlap analysis"), "stdout: {text}");
+}
+
+#[test]
+fn chrome_trace_is_a_json_array_of_complete_events() {
+    let dir = std::env::temp_dir().join(format!("gothic_chrome_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = run(&[
+        "--n",
+        "256",
+        "--steps",
+        "2",
+        "--trace",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trimmed = text.trim();
+    assert!(
+        trimmed.starts_with('['),
+        "chrome trace must be a JSON array"
+    );
+    assert!(trimmed.ends_with(']'), "chrome trace must be terminated");
+    // Complete events carry the duration fields chrome://tracing needs.
+    assert!(text.contains("\"ph\":\"X\""), "trace: {text}");
+    assert!(text.contains("\"ts\":"), "trace: {text}");
+    assert!(text.contains("\"dur\":"), "trace: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn tiny_valid_run_succeeds() {
     let out = run(&[
         "--model",
